@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one module here that (a) regenerates the
+rows/series at a reduced scale, (b) asserts the paper's shape claims, and
+(c) writes the formatted table to ``benchmarks/results/`` so runs can be
+diffed and pasted into EXPERIMENTS.md.
+
+Scale and repetition are controlled by environment variables so the same
+modules serve both the quick CI pass and fuller reproduction runs:
+
+* ``REPRO_BENCH_SCALE``  -- scenario scale in (0, 1]; default 0.2.
+* ``REPRO_BENCH_RUNS``   -- seed-varied repetitions per point; default 2.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+
+def bench_runs() -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", "2"))
+
+
+def save_report(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

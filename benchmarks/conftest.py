@@ -1,0 +1,17 @@
+"""Pytest fixtures for the benchmark harness (helpers in bench_config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_config import bench_runs, bench_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def runs() -> int:
+    return bench_runs()

@@ -1,0 +1,112 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not part of the paper's figures, but each quantifies a knob the design
+fixes: the Eq. 1 validity threshold, the effective angle, the cold-start
+probability floor, gateway placement, and the expected-coverage estimator
+(exact circle-sweep vs. literal Monte-Carlo sampling of Definition 2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.report import format_comparison, format_table
+
+from bench_config import bench_runs, bench_scale, save_report
+
+
+def test_ablation_validity_threshold(benchmark):
+    scale, runs = bench_scale(), bench_runs()
+    results = benchmark.pedantic(
+        ablations.sweep_validity_threshold,
+        kwargs={"scale": scale, "num_runs": runs},
+        rounds=1,
+        iterations=1,
+    )
+    for result in results.values():
+        assert 0.0 <= result.point_coverage <= 1.0
+    save_report(
+        "ablation_pthld",
+        f"(scale={scale}, runs={runs})\n"
+        + format_comparison(results, title="Eq. 1 validity threshold P_thld"),
+    )
+
+
+def test_ablation_effective_angle(benchmark):
+    scale, runs = bench_scale(), bench_runs()
+    results = benchmark.pedantic(
+        ablations.sweep_effective_angle,
+        kwargs={"scale": scale, "num_runs": runs},
+        rounds=1,
+        iterations=1,
+    )
+    # Wider effective angles credit more degrees per photo, so the raw
+    # aspect metric grows with theta.
+    thetas = sorted(results, key=lambda k: float(k.split("=")[1].rstrip("deg")))
+    aspects = [results[k].aspect_coverage_deg for k in thetas]
+    assert aspects[0] <= aspects[-1] + 1e-9
+    save_report(
+        "ablation_theta",
+        f"(scale={scale}, runs={runs})\n"
+        + format_comparison(results, title="effective angle theta"),
+    )
+
+
+def test_ablation_probability_floor(benchmark):
+    scale, runs = bench_scale(), bench_runs()
+    results = benchmark.pedantic(
+        ablations.sweep_probability_floor,
+        kwargs={"scale": scale, "num_runs": runs},
+        rounds=1,
+        iterations=1,
+    )
+    # The paper-verbatim floor=0 must not beat the small-floor variant:
+    # cold-start zero probabilities freeze early exchanges.
+    zero = results["floor=0.0"]
+    small = results["floor=0.02"]
+    assert small.point_coverage >= zero.point_coverage - 0.05
+    save_report(
+        "ablation_floor",
+        f"(scale={scale}, runs={runs})\n"
+        + format_comparison(results, title="cold-start delivery-probability floor"),
+    )
+
+
+def test_ablation_gateway_placement(benchmark):
+    scale, runs = bench_scale(), bench_runs()
+    results = benchmark.pedantic(
+        ablations.compare_gateway_strategies,
+        kwargs={"scale": scale, "num_runs": runs},
+        rounds=1,
+        iterations=1,
+    )
+    assert set(results) == {"random", "degree", "betweenness"}
+    save_report(
+        "ablation_gateways",
+        f"(scale={scale}, runs={runs})\n"
+        + format_comparison(results, title="gateway placement strategy"),
+    )
+
+
+def test_ablation_estimators(benchmark):
+    outcome = benchmark.pedantic(
+        ablations.compare_expected_coverage_estimators,
+        kwargs={"num_nodes": 12, "photos_per_node": 15, "samples": 500},
+        rounds=1,
+        iterations=1,
+    )
+    exact_point, exact_aspect, exact_s = outcome["exact-sweep"]
+    sampled_point, sampled_aspect, sampled_s = outcome["monte-carlo-500"]
+    assert sampled_point == pytest.approx(exact_point, rel=0.1)
+    assert sampled_aspect == pytest.approx(exact_aspect, rel=0.1)
+    rows = [
+        [name, f"{p:.2f}", f"{a:.1f}", f"{s * 1000:.2f}ms"]
+        for name, (p, a, s) in outcome.items()
+    ]
+    save_report(
+        "ablation_estimators",
+        format_table(["estimator", "point", "aspect-deg", "time"], rows)
+        + f"\n\nexact sweep speedup: {sampled_s / max(exact_s, 1e-9):.0f}x",
+    )
+

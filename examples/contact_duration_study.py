@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Contact-duration sensitivity study (the Fig. 6 experiment, interactive).
+
+Sweeps the contact-duration cap at 2 MB/s bandwidth and shows why the
+transfer schedule matters: because the greedy solution is realized most
+valuable photo first, a truncated contact still moves the photos that
+matter, so a 2-minute cap costs almost nothing while a 30-second cap
+finally bites.
+
+Run:  python examples/contact_duration_study.py [--scale 0.15] [--runs 1]
+"""
+
+import argparse
+
+from repro.experiments import fig6
+from repro.experiments.report import format_comparison
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--runs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    results = fig6.run(scale=args.scale, num_runs=args.runs, seed=args.seed)
+    print(format_comparison(results, title="coverage vs contact-duration cap"))
+
+    ours_600 = results["ours@600s"]
+    ours_120 = results["ours@120s"]
+    ours_30 = results["ours@30s"]
+    if ours_600.point_coverage > 0:
+        mild = 100.0 * (1 - ours_120.point_coverage / ours_600.point_coverage)
+        harsh = 100.0 * (1 - ours_30.point_coverage / ours_600.point_coverage)
+        print(f"\npoint-coverage loss vs uncapped: 2-minute cap {mild:.1f}%, "
+              f"30-second cap {harsh:.1f}%")
+    print("(paper: ~1% loss at 2 minutes; at 30 seconds performance falls "
+          "to roughly ModifiedSpray-with-10-minutes level)")
+
+
+if __name__ == "__main__":
+    main()

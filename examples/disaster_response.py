@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Disaster-response scenario: crowdsourcing damage photos over a DTN.
+
+The motivating workload from the paper's introduction: an earthquake has
+damaged a few city blocks (clustered PoIs), the cellular network is down,
+and survivors/rescuers with smartphones exchange photos opportunistically.
+A couple of rescuers carry satellite radios (gateways) that intermittently
+reach the command center.
+
+The script runs the paper's scheme against Spray-and-Wait on the same
+scenario and prints the coverage the command center accumulates over time.
+
+Run:  python examples/disaster_response.py  [--scale 0.3]
+"""
+
+import argparse
+
+from repro.core.coverage import DEFAULT_EFFECTIVE_ANGLE
+from repro.dtn import GIGABYTE, MEGABYTE, Simulation, SimulationConfig
+from repro.routing import CoverageSelectionScheme, SprayAndWaitScheme
+from repro.traces import SyntheticTraceSpec, gateway_uplink_contacts, generate_trace
+from repro.workload import PhotoGenerator, PhotoGeneratorSpec, clustered_pois, generate_photo_schedule
+
+
+def build_scenario(scale: float, seed: int = 0):
+    """A damaged-downtown scenario shrunk by *scale*."""
+    num_nodes = max(8, int(40 * scale))
+    duration_hours = 72.0  # three days of response
+    region = 3000.0
+
+    participants = generate_trace(
+        SyntheticTraceSpec(
+            num_nodes=num_nodes,
+            duration_hours=duration_hours,
+            num_communities=4,          # rescue teams
+            intra_rate_per_hour=0.08,   # teammates meet often
+            inter_rate_per_hour=0.004,
+            pair_connectivity=0.25,
+            scan_interval_s=120.0,
+        ),
+        seed=seed,
+        name="disaster-town",
+    )
+    node_ids = sorted(participants.node_ids())
+    gateways = node_ids[:2]  # two rescuers carry satellite radios
+    uplinks = gateway_uplink_contacts(
+        gateways,
+        end_time_s=duration_hours * 3600.0,
+        mean_interval_s=3.0 * 3600.0,
+        mean_duration_s=600.0,
+        seed=seed + 1,
+    )
+    trace = participants.merged_with(uplinks)
+
+    # Damage concentrates in four clusters of buildings.
+    pois = clustered_pois(
+        num_clusters=4,
+        pois_per_cluster=max(5, int(15 * scale)),
+        region_width_m=region,
+        region_height_m=region,
+        cluster_radius_m=150.0,
+        seed=seed + 2,
+    )
+    generator = PhotoGenerator(
+        PhotoGeneratorSpec(
+            region_width_m=region,
+            region_height_m=region,
+            targeted_fraction=0.3,  # people photograph the damage on purpose
+        ),
+        pois=pois,
+        seed=seed + 3,
+    )
+    arrivals = generate_photo_schedule(
+        generator,
+        participant_ids=node_ids,
+        photos_per_hour=120.0 * scale,
+        duration_s=duration_hours * 3600.0,
+        seed=seed + 4,
+    )
+    config = SimulationConfig(
+        storage_bytes=int(0.3 * GIGABYTE),
+        bandwidth_bytes_per_s=2 * MEGABYTE,
+        effective_angle=DEFAULT_EFFECTIVE_ANGLE,
+        sample_interval_s=6 * 3600.0,
+    )
+    return trace, pois, arrivals, gateways, config
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.4, help="scenario scale (0, 1]")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    trace, pois, arrivals, gateways, config = build_scenario(args.scale, args.seed)
+    print(f"scenario: {trace.summary()['nodes']:.0f} nodes, "
+          f"{len(trace)} contacts over 72 h, {len(pois)} damaged buildings, "
+          f"{len(arrivals)} photos taken, gateways {gateways}")
+
+    for scheme_factory in (CoverageSelectionScheme, SprayAndWaitScheme):
+        scheme = scheme_factory()
+        simulation = Simulation(
+            trace=trace, pois=pois, photo_arrivals=arrivals,
+            scheme=scheme, config=config, gateway_ids=gateways,
+        )
+        result = simulation.run()
+        print(f"\n=== {scheme.name} ===")
+        print("  time   point-cov  aspect-deg  delivered")
+        for sample in result.samples:
+            print(
+                f"  {sample.time / 3600.0:4.0f}h  {sample.point_coverage:9.3f}"
+                f"  {sample.aspect_coverage_deg:10.1f}  {sample.delivered_photos:9d}"
+            )
+
+    print("\nThe coverage-aware scheme reaches higher point and aspect "
+          "coverage while pushing far fewer photos through the scarce "
+          "satellite uplinks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""The paper's prototype demonstration (Section IV-B / Fig. 3), synthetic.
+
+Nine nodes -- eight participants and one command center -- replay a
+contact trace.  Forty photos of a single target (the paper used a historic
+church) are split five-per-participant; devices store at most 5 photos and
+each contact moves at most 3.  Three delivery schemes compete on the same
+inputs and the script prints, per scheme, how many photos reached the
+command center and how many degrees of the target's aspects they cover.
+
+Expected shape (paper: ours 6 photos / 346 deg, PhotoNet 12 / 160,
+Spray&Wait 12 / 171): our scheme delivers the fewest photos and covers
+the most aspects.
+
+Run:  python examples/prototype_demo.py [--seed 0]
+"""
+
+import argparse
+
+from repro.experiments import fig3_demo
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    outcomes = fig3_demo.run(seed=args.seed)
+    print(fig3_demo.report(outcomes))
+
+    ours = outcomes["our-scheme"]
+    print(
+        f"\nour scheme delivered {ours.delivered_photos} photos covering "
+        f"{ours.aspect_coverage_deg:.0f} degrees of the target -- the other "
+        "schemes spend their 12-photo uplink budget on redundant or "
+        "irrelevant shots."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Regenerate every paper table/figure and write the results to disk.
+
+Thin wrapper over :func:`repro.experiments.generate_all.generate_all`;
+produces ``benchmarks/results/full_*.txt`` -- the inputs from which
+EXPERIMENTS.md's measured columns are filled.
+
+Run:  python scripts/generate_experiments.py [--scale 0.35] [--runs 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments.generate_all import generate_all
+
+RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.35)
+    parser.add_argument("--runs", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    started = time.time()
+    generate_all(
+        scale=args.scale,
+        num_runs=args.runs,
+        seed=args.seed,
+        output_dir=RESULTS,
+        progress=lambda message: print(f"{message} ...", flush=True),
+    )
+    print(f"done in {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro: Resource-Aware Photo Crowdsourcing Through Disruption Tolerant Networks.
+
+A from-scratch Python reproduction of the ICDCS 2016 paper by Wu, Wang,
+Hu, Zhang and Cao.  The package implements the photo coverage model, the
+expected-coverage photo selection algorithm, the metadata management
+scheme, PROPHET delivery predictability, a discrete-event DTN simulator,
+synthetic stand-ins for the MIT Reality / Cambridge06 contact traces, the
+smartphone sensor-fusion prototype pipeline, and the full experiment
+harness reproducing every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.core import Point, PoI, PoIList, CoverageIndex
+    from repro.workload import PhotoGenerator
+    from repro.experiments import fig5
+
+    results = fig5.run(scale=0.25, num_runs=1)
+    print(fig5.report(results))
+"""
+
+from . import core, dtn, experiments, metadata_mgmt, routing, sensors, traces, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "dtn",
+    "experiments",
+    "metadata_mgmt",
+    "routing",
+    "sensors",
+    "traces",
+    "workload",
+    "__version__",
+]

@@ -1,0 +1,291 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Installed as the ``repro`` console script::
+
+    repro list                      # what can be run
+    repro fig5 --scale 0.2 --runs 2
+    repro fig7 --trace cambridge
+    repro demo --seed 3
+    repro trace-stats --scale 0.2   # Sec. III-B exponential-fit check
+    repro ablation pthld            # design-knob sweeps
+
+Every command prints the same text tables the benchmark harness writes to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import ablations, fig3_demo, fig5, fig6, fig7, fig8
+from .experiments.config import TRACE_CAMBRIDGE, TRACE_MIT
+from .experiments.report import format_comparison, format_table
+from .traces.analysis import exponential_fit_report, rate_heterogeneity
+from .traces.graph import graph_summary
+from .traces.synthetic import cambridge06_like, mit_reality_like
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resource-aware photo crowdsourcing through DTNs (ICDCS'16) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    for name, help_text in (
+        ("fig5", "coverage vs time, five schemes (MIT trace)"),
+        ("fig6", "effect of contact-duration caps"),
+        ("fig7", "effect of storage capacity"),
+        ("fig8", "effect of photo generation rate"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--scale", type=float, default=0.2, help="scenario scale (0, 1]")
+        cmd.add_argument("--runs", type=int, default=1, help="seed-varied repetitions")
+        cmd.add_argument("--seed", type=int, default=0)
+        if name in ("fig5", "fig6"):
+            cmd.add_argument(
+                "--chart", action="store_true", help="also render a text chart"
+            )
+        if name in ("fig7", "fig8"):
+            cmd.add_argument(
+                "--trace", choices=[TRACE_MIT, TRACE_CAMBRIDGE], default=TRACE_MIT
+            )
+
+    demo = sub.add_parser("demo", help="the Fig. 3 prototype demonstration")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--sensors",
+        action="store_true",
+        help="acquire photo metadata through the simulated sensor pipeline",
+    )
+
+    latency = sub.add_parser("latency", help="delivery-latency comparison across schemes")
+    latency.add_argument("--scale", type=float, default=0.2)
+    latency.add_argument("--runs", type=int, default=1)
+    latency.add_argument("--seed", type=int, default=0)
+
+    dissemination = sub.add_parser(
+        "dissemination", help="PoI-list dissemination delay and its coverage cost"
+    )
+    dissemination.add_argument("--scale", type=float, default=0.2)
+    dissemination.add_argument("--runs", type=int, default=1)
+    dissemination.add_argument("--seed", type=int, default=0)
+
+    centralized = sub.add_parser(
+        "centralized", help="DTN selection vs a connected server (SmartPhoto setting)"
+    )
+    centralized.add_argument("--scale", type=float, default=0.2)
+    centralized.add_argument("--seed", type=int, default=0)
+
+    weighted = sub.add_parser(
+        "weighted", help="Section II-C: do PoI weights prioritize important targets?"
+    )
+    weighted.add_argument("--scale", type=float, default=0.15)
+    weighted.add_argument("--seed", type=int, default=0)
+    weighted.add_argument("--weight", type=float, default=8.0)
+
+    stats = sub.add_parser(
+        "trace-stats", help="synthetic-trace statistics and exponential-fit check"
+    )
+    stats.add_argument("--trace", choices=[TRACE_MIT, TRACE_CAMBRIDGE], default=TRACE_MIT)
+    stats.add_argument("--scale", type=float, default=1.0)
+    stats.add_argument("--seed", type=int, default=0)
+
+    ablation = sub.add_parser("ablation", help="design-knob sweeps")
+    ablation.add_argument(
+        "study",
+        choices=["pthld", "theta", "floor", "churn", "gateways", "estimators"],
+    )
+    ablation.add_argument("--scale", type=float, default=0.2)
+    ablation.add_argument("--runs", type=int, default=1)
+    ablation.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [
+        ["fig5", "coverage vs time, 5 schemes"],
+        ["fig6", "contact-duration caps"],
+        ["fig7", "storage sweep (--trace mit|cambridge)"],
+        ["fig8", "generation-rate sweep (--trace mit|cambridge)"],
+        ["demo", "Fig. 3 prototype demo (9 nodes, 40 photos; --sensors)"],
+        ["latency", "delivery-latency percentiles per scheme"],
+        ["dissemination", "PoI-list spread delay and its coverage cost"],
+        ["centralized", "DTN vs connected-server selection efficiency"],
+        ["weighted", "PoI-weight prioritization under a scarce uplink"],
+        ["trace-stats", "Sec. III-B exponential inter-contact check"],
+        ["ablation", "pthld | theta | floor | gateways | estimators"],
+    ]
+    print(format_table(["command", "what it reproduces"], rows))
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    builder = mit_reality_like if args.trace == TRACE_MIT else cambridge06_like
+    hours = (300.0 if args.trace == TRACE_MIT else 200.0) * args.scale
+    trace = builder(seed=args.seed, duration_hours=hours)
+    print(f"trace: {trace!r}")
+    print("\ncontact graph:")
+    for key, value in graph_summary(trace).items():
+        print(f"  {key:18s} {value:.2f}")
+    print("\npair-rate heterogeneity:")
+    for key, value in rate_heterogeneity(trace).items():
+        print(f"  {key:18s} {value:.4g}")
+    fits = exponential_fit_report(trace, min_gaps=10)
+    if fits:
+        good = sum(1 for f in fits if f.ks_pvalue > 0.05)
+        print(f"\nexponential fits (pairs with >=10 gaps): {len(fits)}")
+        print(f"  KS p > 0.05 for {good}/{len(fits)} pairs "
+              "(Sec. III-B assumes per-pair exponential inter-contact times)")
+    else:
+        print("\nno pair has enough gaps for a fit at this scale")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    common = dict(scale=args.scale, num_runs=args.runs, seed=args.seed)
+    if args.study == "pthld":
+        print(format_comparison(ablations.sweep_validity_threshold(**common),
+                                title="Eq. 1 validity threshold sweep"))
+    elif args.study == "theta":
+        print(format_comparison(ablations.sweep_effective_angle(**common),
+                                title="effective angle sweep"))
+    elif args.study == "floor":
+        print(format_comparison(ablations.sweep_probability_floor(**common),
+                                title="cold-start probability floor sweep"))
+    elif args.study == "churn":
+        print(format_comparison(ablations.sweep_churn(**common),
+                                title="participation churn sweep"))
+    elif args.study == "gateways":
+        print(format_comparison(ablations.compare_gateway_strategies(**common),
+                                title="gateway placement strategies"))
+    else:
+        outcome = ablations.compare_expected_coverage_estimators(seed=args.seed)
+        rows = [
+            [name, f"{point:.2f}", f"{aspect:.1f}", f"{seconds * 1000:.1f}ms"]
+            for name, (point, aspect, seconds) in outcome.items()
+        ]
+        print(format_table(["estimator", "point", "aspect-deg", "time"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "demo":
+        outcomes = fig3_demo.run(seed=args.seed, use_sensor_pipeline=args.sensors)
+        print(fig3_demo.report(outcomes))
+        return 0
+    if args.command == "latency":
+        from .experiments.latency_study import latency_report, run_latency_study
+
+        summaries = run_latency_study(scale=args.scale, num_runs=args.runs, seed=args.seed)
+        print(latency_report(summaries))
+        return 0
+    if args.command == "centralized":
+        from .experiments.centralized_study import run_centralized_study
+
+        comparison = run_centralized_study(scale=args.scale, seed=args.seed)
+        rows = [
+            ["our-scheme (DTN)", f"{comparison.dtn_coverage.point:.1f}",
+             f"{comparison.dtn_coverage.aspect_degrees:.0f}", str(comparison.dtn_delivered)],
+            ["server, same bytes", f"{comparison.centralized_budgeted.point:.1f}",
+             f"{comparison.centralized_budgeted.aspect_degrees:.0f}", "-"],
+            ["server, unbounded", f"{comparison.centralized_unbounded.point:.1f}",
+             f"{comparison.centralized_unbounded.aspect_degrees:.0f}", "-"],
+        ]
+        print(format_table(["selection world", "point", "aspect-deg", "delivered"], rows))
+        print(
+            f"\nDTN efficiency vs budget-matched server: "
+            f"point {comparison.efficiency_point():.0%}, "
+            f"aspect {comparison.efficiency_aspect():.0%} "
+            f"({comparison.num_candidates} candidate photos)"
+        )
+        return 0
+    if args.command == "weighted":
+        from .experiments.weighted_study import run_weighted_study
+
+        outcome = run_weighted_study(scale=args.scale, seed=args.seed, weight=args.weight)
+        rows = [
+            ["important point", f"{outcome.important_point_weighted:.2f}",
+             f"{outcome.important_point_unweighted:.2f}"],
+            ["important aspect (deg)", f"{outcome.important_aspect_weighted_deg:.0f}",
+             f"{outcome.important_aspect_unweighted_deg:.0f}"],
+            ["other point", f"{outcome.other_point_weighted:.2f}",
+             f"{outcome.other_point_unweighted:.2f}"],
+        ]
+        print(format_table(["metric", "weights on", "weights off"], rows))
+        print(f"\nprioritization gain on important PoIs: "
+              f"{outcome.prioritization_gain():+.2f} point coverage "
+              f"(weight {outcome.weight:g}, scarce uplink)")
+        return 0
+    if args.command == "dissemination":
+        from .experiments.dissemination_study import run_dissemination_study
+
+        outcome = run_dissemination_study(
+            scale=args.scale, num_runs=args.runs, seed=args.seed
+        )
+        print("PoI-list arrival quantiles (hours):")
+        for q, hours in outcome.arrival_quantiles_h.items():
+            print(f"  {q:.0%} of nodes by {hours:.1f}h")
+        print(f"informed fraction: {outcome.informed_fraction:.2f}")
+        print("\npoint coverage with/without dissemination delay:")
+        for name in outcome.with_delay:
+            print(
+                f"  {name:15s} {outcome.with_delay[name].point_coverage:.3f} / "
+                f"{outcome.without_delay[name].point_coverage:.3f} "
+                f"(cost {outcome.coverage_cost(name):.3f})"
+            )
+        return 0
+    if args.command == "trace-stats":
+        return _cmd_trace_stats(args)
+    if args.command == "ablation":
+        return _cmd_ablation(args)
+
+    if args.command == "fig5":
+        results = fig5.run(scale=args.scale, num_runs=args.runs, seed=args.seed)
+        print(fig5.report(results))
+        if args.chart:
+            from .experiments.asciiplot import line_chart
+
+            series = {name: result.point_series for name, result in results.items()}
+            print("\npoint coverage vs time:")
+            print(line_chart(series))
+    elif args.command == "fig6":
+        results = fig6.run(scale=args.scale, num_runs=args.runs, seed=args.seed)
+        print(fig6.report(results))
+        if args.chart:
+            from .experiments.asciiplot import line_chart
+
+            series = {name: result.point_series for name, result in results.items()}
+            print("\npoint coverage vs time:")
+            print(line_chart(series))
+    elif args.command == "fig7":
+        sweep = fig7.run(trace_name=args.trace, scale=args.scale,
+                         num_runs=args.runs, seed=args.seed)
+        print(fig7.report(sweep, trace_name=args.trace))
+    elif args.command == "fig8":
+        sweep = fig8.run(trace_name=args.trace, scale=args.scale,
+                         num_runs=args.runs, seed=args.seed)
+        print(fig8.report(sweep, trace_name=args.trace))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""Centralized photo selection (the SmartPhoto setting, Section VI).
+
+The paper contrasts its distributed DTN selection with SmartPhoto, where
+reliable connectivity lets a *server* select photos centrally.  These
+algorithms implement that setting over the same coverage model, serving
+two purposes: (a) an upper-reference for the DTN schemes ("what would a
+server with everything pick?"), and (b) standalone utility for users who
+do have connectivity and just want coverage-driven photo triage.
+
+* :func:`select_max_coverage` -- budgeted greedy maximum coverage: pick at
+  most *k* photos (or a byte budget) maximizing lexicographic photo
+  coverage.  The classic (1 - 1/e) greedy for monotone submodular
+  objectives; exact gains via :class:`PoICoverageState`.
+* :func:`select_full_view` -- greedy set-cover style: the (approximately)
+  smallest photo set achieving full-view coverage (2*pi aspects) on every
+  coverable PoI, the optimization target of the full-view literature the
+  paper builds aspect coverage on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .angular import TWO_PI
+from .coverage import CoverageValue
+from .coverage_index import CoverageIndex, PoICoverageState
+from .metadata import Photo
+
+__all__ = ["CentralizedSelection", "select_max_coverage", "select_full_view"]
+
+
+@dataclass
+class CentralizedSelection:
+    """Outcome of a centralized selection."""
+
+    photos: List[Photo]
+    coverage: CoverageValue
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(photo.size_bytes for photo in self.photos)
+
+    def __len__(self) -> int:
+        return len(self.photos)
+
+
+def select_max_coverage(
+    index: CoverageIndex,
+    photos: Sequence[Photo],
+    max_photos: Optional[int] = None,
+    byte_budget: Optional[int] = None,
+) -> CentralizedSelection:
+    """Greedy budgeted maximum coverage over the lexicographic objective.
+
+    Each step adds the photo with the largest marginal ``C_ph`` gain until
+    the photo-count and byte budgets are exhausted or no photo improves
+    coverage.  Ties break toward the smaller photo, then the smaller id.
+    """
+    if max_photos is not None and max_photos < 0:
+        raise ValueError(f"max_photos must be non-negative, got {max_photos}")
+    if byte_budget is not None and byte_budget < 0:
+        raise ValueError(f"byte_budget must be non-negative, got {byte_budget}")
+
+    state = PoICoverageState(index)
+    chosen: List[Photo] = []
+    remaining = [p for p in photos if index.covers_anything(p)]
+    budget = byte_budget
+
+    while remaining:
+        if max_photos is not None and len(chosen) >= max_photos:
+            break
+        best = None
+        best_gain = CoverageValue.ZERO
+        for photo in remaining:
+            if budget is not None and photo.size_bytes > budget:
+                continue
+            gain = state.gain_of(photo)
+            if not gain.is_positive():
+                continue
+            if best is None or gain > best_gain or (
+                gain == best_gain
+                and (photo.size_bytes, photo.photo_id) < (best.size_bytes, best.photo_id)
+            ):
+                best, best_gain = photo, gain
+        if best is None:
+            break
+        state.add_photo(best)
+        chosen.append(best)
+        remaining.remove(best)
+        if budget is not None:
+            budget -= best.size_bytes
+
+    return CentralizedSelection(photos=chosen, coverage=state.total())
+
+
+def select_full_view(
+    index: CoverageIndex,
+    photos: Sequence[Photo],
+    tolerance: float = 1e-9,
+) -> Tuple[CentralizedSelection, bool]:
+    """Greedy minimum photo set achieving full-view coverage.
+
+    A PoI is *full-view covered* when its aspect coverage reaches ``2*pi``
+    (Wang et al., the concept the paper borrows aspect coverage from).
+    Not every PoI may be coverable with the available photos, so the
+    target is the best achievable: the union of ALL photos.  The greedy
+    picks photos by marginal gain until that target is met.
+
+    Returns the selection and whether every PoI that is coverable at all
+    reached the full ``2*pi``.
+    """
+    everything = index.collection_coverage(list(photos))
+    state = PoICoverageState(index)
+    chosen: List[Photo] = []
+    remaining = [p for p in photos if index.covers_anything(p)]
+
+    while remaining and not _reached(state.total(), everything, tolerance):
+        best = None
+        best_gain = CoverageValue.ZERO
+        for photo in remaining:
+            gain = state.gain_of(photo)
+            if not gain.is_positive():
+                continue
+            if best is None or gain > best_gain or (
+                gain == best_gain
+                and (photo.size_bytes, photo.photo_id) < (best.size_bytes, best.photo_id)
+            ):
+                best, best_gain = photo, gain
+        if best is None:
+            break
+        state.add_photo(best)
+        chosen.append(best)
+        remaining.remove(best)
+
+    selection = CentralizedSelection(photos=chosen, coverage=state.total())
+    fully_covered = _all_coverable_full(index, state, photos, tolerance)
+    return selection, fully_covered
+
+
+def _reached(current: CoverageValue, target: CoverageValue, tolerance: float) -> bool:
+    return (
+        current.point >= target.point - tolerance
+        and current.aspect >= target.aspect - tolerance
+    )
+
+
+def _all_coverable_full(
+    index: CoverageIndex,
+    state: PoICoverageState,
+    photos: Sequence[Photo],
+    tolerance: float,
+) -> bool:
+    """Whether every PoI covered by *photos* reached 2*pi aspects."""
+    coverable = set()
+    for photo in photos:
+        point_ids, _ = index.incidence_arcs(photo)
+        coverable.update(point_ids)
+    if not coverable:
+        return True
+    full_measure = TWO_PI - 1e-9
+    arcs = state._arcs  # same-package access; read-only
+    for poi_id in coverable:
+        arcset = arcs.get(poi_id)
+        if arcset is None or arcset.measure() < full_measure - tolerance:
+            return False
+    return True

@@ -1,0 +1,175 @@
+"""Point coverage, aspect coverage, and lexicographic photo coverage.
+
+Implements Section II of the paper:
+
+* ``C_pt(x, F)`` -- 1 (or the PoI weight) iff any photo in ``F`` covers PoI
+  ``x``.
+* ``C_as(x, F)`` -- the angular measure of the union of aspect arcs
+  contributed by photos of ``F`` covering ``x`` (each photo covering ``x``
+  contributes ``viewing_direction +/- theta``).
+* ``C_ph = (C_pt, C_as)`` in **lexicographic order** (Definition 1): point
+  coverage dominates; aspect coverage breaks ties.
+
+For a PoI list, coverage values are summed component-wise (the order stays
+lexicographic on the sums).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar, Iterable
+
+from .angular import ArcSet, AngularInterval
+from .metadata import Photo
+from .poi import PoI, PoIList
+
+__all__ = [
+    "DEFAULT_EFFECTIVE_ANGLE",
+    "CoverageValue",
+    "point_coverage",
+    "aspect_coverage",
+    "photo_coverage",
+    "collection_coverage",
+]
+
+#: Table I: theta = 30 degrees.
+DEFAULT_EFFECTIVE_ANGLE = math.radians(30.0)
+
+
+@dataclass(frozen=True, order=True)
+class CoverageValue:
+    """A lexicographically ordered ``(point, aspect)`` coverage pair.
+
+    ``order=True`` on the dataclass gives exactly the paper's Definition 1
+    comparison: compare ``point`` first, then ``aspect``.  Values support
+    addition and subtraction component-wise so marginal gains can be
+    expressed as ``CoverageValue`` deltas and still compared
+    lexicographically.
+    """
+
+    point: float
+    aspect: float
+
+    ZERO: ClassVar["CoverageValue"]
+
+    def __add__(self, other: "CoverageValue") -> "CoverageValue":
+        if not isinstance(other, CoverageValue):
+            return NotImplemented
+        return CoverageValue(self.point + other.point, self.aspect + other.aspect)
+
+    def __sub__(self, other: "CoverageValue") -> "CoverageValue":
+        if not isinstance(other, CoverageValue):
+            return NotImplemented
+        return CoverageValue(self.point - other.point, self.aspect - other.aspect)
+
+    def scaled(self, factor: float) -> "CoverageValue":
+        """Both components multiplied by *factor* (used for probability
+        weighting in expected coverage)."""
+        return CoverageValue(self.point * factor, self.aspect * factor)
+
+    def is_positive(self) -> bool:
+        """Lexicographically greater than zero -- i.e. a strict improvement."""
+        return self > CoverageValue.ZERO
+
+    def isclose(self, other: "CoverageValue", abs_tol: float = 1e-9) -> bool:
+        return math.isclose(self.point, other.point, abs_tol=abs_tol) and math.isclose(
+            self.aspect, other.aspect, abs_tol=abs_tol
+        )
+
+    @property
+    def aspect_degrees(self) -> float:
+        return math.degrees(self.aspect)
+
+    def __repr__(self) -> str:
+        return f"CoverageValue(point={self.point:.4f}, aspect={self.aspect:.4f})"
+
+
+# A single shared zero; the class cannot self-reference at class body time.
+CoverageValue.ZERO = CoverageValue(0.0, 0.0)
+
+
+def _aspect_arcs(
+    poi: PoI, photos: Iterable[Photo], effective_angle: float
+) -> ArcSet:
+    """Union of aspect arcs that *photos* contribute on *poi*."""
+    arcs = ArcSet()
+    for photo in photos:
+        if photo.covers(poi.location):
+            if photo.metadata.location.distance_to(poi.location) == 0.0:
+                # Camera exactly on the PoI: point coverage only, no
+                # defined viewing direction (no aspect contribution).
+                continue
+            direction = photo.metadata.viewing_direction_of(poi.location)
+            arcs.add(AngularInterval.around(direction, effective_angle))
+    return arcs
+
+
+def point_coverage(poi: PoI, photos: Iterable[Photo]) -> float:
+    """``C_pt(x, F)``: the PoI's weight if any photo covers it, else 0."""
+    for photo in photos:
+        if photo.covers(poi.location):
+            return poi.weight
+    return 0.0
+
+
+def aspect_coverage(
+    poi: PoI,
+    photos: Iterable[Photo],
+    effective_angle: float = DEFAULT_EFFECTIVE_ANGLE,
+) -> float:
+    """``C_as(x, F)``: measure of the union of covered aspects, radians.
+
+    If the PoI restricts ``important_aspects``, only the measure inside
+    those arcs counts.  The result is scaled by the PoI weight so weighted
+    PoIs dominate both coverage components consistently.
+    """
+    arcs = _aspect_arcs(poi, photos, effective_angle)
+    if poi.important_aspects is not None:
+        restricted = 0.0
+        for lo, hi in poi.important_aspects.segments():
+            restricted += _overlap_measure(arcs, lo, hi)
+        return poi.weight * restricted
+    return poi.weight * arcs.measure()
+
+
+def _overlap_measure(arcs: ArcSet, lo: float, hi: float) -> float:
+    covered = 0.0
+    for seg_lo, seg_hi in arcs.segments():
+        overlap_lo = max(lo, seg_lo)
+        overlap_hi = min(hi, seg_hi)
+        if overlap_hi > overlap_lo:
+            covered += overlap_hi - overlap_lo
+    return covered
+
+
+def photo_coverage(
+    poi: PoI,
+    photos: Iterable[Photo],
+    effective_angle: float = DEFAULT_EFFECTIVE_ANGLE,
+) -> CoverageValue:
+    """``C_ph(x, F)`` for one PoI (Definition 1)."""
+    photo_list = list(photos)
+    return CoverageValue(
+        point=point_coverage(poi, photo_list),
+        aspect=aspect_coverage(poi, photo_list, effective_angle),
+    )
+
+
+def collection_coverage(
+    pois: PoIList,
+    photos: Iterable[Photo],
+    effective_angle: float = DEFAULT_EFFECTIVE_ANGLE,
+) -> CoverageValue:
+    """``C_ph(X, F)``: component-wise sum over the PoI list.
+
+    This is the direct (index-free) implementation, quadratic in
+    ``|X| * |F|``; the simulator uses :class:`~repro.core.coverage_index.
+    CoverageIndex` instead, which precomputes photo->PoI incidences.  The
+    two are cross-checked in the test suite.
+    """
+    photo_list = list(photos)
+    total = CoverageValue.ZERO
+    for poi in pois:
+        total = total + photo_coverage(poi, photo_list, effective_angle)
+    return total

@@ -1,0 +1,252 @@
+"""Precomputed photo -> PoI coverage incidences.
+
+Photo metadata never changes, so whether a photo covers a PoI -- and from
+which viewing direction -- can be computed once and reused for every
+coverage evaluation afterwards.  :class:`CoverageIndex` stores, per photo,
+the list of ``(poi_id, viewing_direction)`` incidences, plus a spatial grid
+over PoIs so indexing a photo costs time proportional to the PoIs near its
+sector instead of the whole list.
+
+Every coverage computation in the simulator and the selection algorithm
+goes through this index; :func:`repro.core.coverage.collection_coverage`
+is the reference implementation it is tested against.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .angular import ArcSet, AngularInterval
+from .coverage import DEFAULT_EFFECTIVE_ANGLE, CoverageValue
+from .metadata import Photo
+from .poi import PoIList
+
+__all__ = ["CoverageIndex", "PoICoverageState"]
+
+Incidence = Tuple[int, float]  # (poi_id, viewing_direction)
+
+
+class CoverageIndex:
+    """Maps photos to the PoIs they cover.
+
+    Parameters
+    ----------
+    pois:
+        The PoI list all coverage is computed against.
+    effective_angle:
+        ``theta`` -- half-width of the aspect arc contributed per photo.
+    cell_size:
+        Edge length of the spatial-grid cells used to prune PoI candidates
+        when indexing a photo.  ``None`` picks a sensible default from the
+        PoI spread.
+    """
+
+    def __init__(
+        self,
+        pois: PoIList,
+        effective_angle: float = DEFAULT_EFFECTIVE_ANGLE,
+        cell_size: float = None,
+    ) -> None:
+        if effective_angle <= 0.0 or effective_angle > math.pi:
+            raise ValueError(f"effective_angle must be in (0, pi], got {effective_angle}")
+        self.pois = pois
+        self.effective_angle = effective_angle
+        self._incidences: Dict[int, List[Incidence]] = {}
+        self._arc_cache: Dict[int, tuple] = {}
+        self._cell_size = cell_size if cell_size is not None else self._default_cell_size()
+        self._grid: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for poi in pois:
+            self._grid[self._cell_of(poi.location.x, poi.location.y)].append(poi.poi_id)
+
+    def _default_cell_size(self) -> float:
+        # Cells comparable to a typical coverage range keep candidate lists
+        # short without making the cell scan dominate.
+        return 250.0
+
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        return (int(math.floor(x / self._cell_size)), int(math.floor(y / self._cell_size)))
+
+    def _candidate_poi_ids(self, photo: Photo) -> Iterable[int]:
+        """PoIs in grid cells intersecting the photo's bounding box."""
+        loc = photo.metadata.location
+        radius = photo.metadata.coverage_range
+        lo_cx, lo_cy = self._cell_of(loc.x - radius, loc.y - radius)
+        hi_cx, hi_cy = self._cell_of(loc.x + radius, loc.y + radius)
+        for cx in range(lo_cx, hi_cx + 1):
+            for cy in range(lo_cy, hi_cy + 1):
+                cell = self._grid.get((cx, cy))
+                if cell:
+                    yield from cell
+
+    def incidences(self, photo: Photo) -> List[Incidence]:
+        """``(poi_id, viewing_direction)`` pairs for PoIs this photo covers.
+
+        Computed lazily, memoized by ``photo_id``.
+        """
+        cached = self._incidences.get(photo.photo_id)
+        if cached is not None:
+            return cached
+        sector = photo.metadata.sector()
+        found: List[Incidence] = []
+        for poi_id in self._candidate_poi_ids(photo):
+            poi = self.pois[poi_id]
+            if sector.contains(poi.location):
+                if poi.location.distance_to(sector.apex) == 0.0:
+                    # Degenerate camera-on-PoI photo: point coverage only,
+                    # no defined viewing direction; contribute a NaN marker.
+                    found.append((poi_id, float("nan")))
+                else:
+                    found.append((poi_id, sector.viewing_direction_of(poi.location)))
+        self._incidences[photo.photo_id] = found
+        return found
+
+    def incidence_arcs(self, photo: Photo):
+        """Precomputed aspect-arc segments per covered PoI.
+
+        Returns ``(point_poi_ids, arc_list)`` where *point_poi_ids* is a
+        tuple of every PoI id the photo point-covers, and *arc_list* is a
+        tuple of ``(poi_id, segments)`` pairs with *segments* the photo's
+        aspect arc on that PoI as non-wrapping ``(lo, hi)`` pieces (the
+        degenerate camera-on-PoI case contributes point coverage only).
+        Memoized by ``photo_id``; this is the hot-loop representation the
+        selection algorithm consumes.
+        """
+        cached = self._arc_cache.get(photo.photo_id)
+        if cached is not None:
+            return cached
+        theta = self.effective_angle
+        point_ids = []
+        arcs = []
+        for poi_id, direction in self.incidences(photo):
+            point_ids.append(poi_id)
+            if math.isnan(direction):
+                continue
+            segments = AngularInterval.around(direction, theta).as_segments()
+            arcs.append((poi_id, tuple(segments)))
+        result = (tuple(point_ids), tuple(arcs))
+        self._arc_cache[photo.photo_id] = result
+        return result
+
+    def covers_anything(self, photo: Photo) -> bool:
+        """Whether the photo covers at least one PoI (relevance filter)."""
+        return bool(self.incidences(photo))
+
+    def collection_coverage(self, photos: Iterable[Photo]) -> CoverageValue:
+        """``C_ph(X, F)`` computed through the index."""
+        state = PoICoverageState(self)
+        for photo in photos:
+            state.add_photo(photo)
+        return state.total()
+
+    def normalized(self, value: CoverageValue) -> Tuple[float, float]:
+        """Normalize a coverage value by the PoI list as the paper's plots do.
+
+        Returns ``(point_fraction, mean_aspect_degrees)``: point coverage as
+        the fraction of total PoI weight covered, and aspect coverage as the
+        average covered degrees per PoI.
+        """
+        total_weight = self.pois.total_weight
+        if total_weight == 0.0:
+            return (0.0, 0.0)
+        return (
+            value.point / total_weight,
+            math.degrees(value.aspect / total_weight),
+        )
+
+
+class PoICoverageState:
+    """Incremental coverage accumulator over a growing photo set.
+
+    Greedy selection adds photos one at a time and needs the marginal gain
+    of a candidate photo in O(PoIs the photo covers).  This class maintains
+    per-PoI arc sets and point flags and supports ``gain_of`` /
+    ``add_photo``.
+    """
+
+    __slots__ = ("index", "_arcs", "_point_covered", "_total")
+
+    def __init__(self, index: CoverageIndex) -> None:
+        self.index = index
+        self._arcs: Dict[int, ArcSet] = {}
+        self._point_covered: Dict[int, bool] = {}
+        self._total = CoverageValue.ZERO
+
+    def copy(self) -> "PoICoverageState":
+        duplicate = PoICoverageState(self.index)
+        duplicate._arcs = {pid: arcs.copy() for pid, arcs in self._arcs.items()}
+        duplicate._point_covered = dict(self._point_covered)
+        duplicate._total = self._total
+        return duplicate
+
+    def gain_of(self, photo: Photo) -> CoverageValue:
+        """Marginal ``C_ph`` gain if *photo* were added, without mutating."""
+        point_gain = 0.0
+        aspect_gain = 0.0
+        theta = self.index.effective_angle
+        for poi_id, direction in self.index.incidences(photo):
+            poi = self.index.pois[poi_id]
+            if not self._point_covered.get(poi_id, False):
+                point_gain += poi.weight
+            if math.isnan(direction):
+                continue
+            arc = AngularInterval.around(direction, theta)
+            arcs = self._arcs.get(poi_id)
+            if arcs is None:
+                aspect_gain += poi.weight * self._restricted_width(poi, arc)
+            else:
+                aspect_gain += poi.weight * self._restricted_gain(poi, arcs, arc)
+        return CoverageValue(point_gain, aspect_gain)
+
+    def _restricted_width(self, poi, arc: AngularInterval) -> float:
+        if poi.important_aspects is None:
+            return arc.width
+        width = 0.0
+        for lo, hi in arc.as_segments():
+            for seg_lo, seg_hi in poi.important_aspects.segments():
+                overlap = min(hi, seg_hi) - max(lo, seg_lo)
+                if overlap > 0.0:
+                    width += overlap
+        return width
+
+    def _restricted_gain(self, poi, arcs: ArcSet, arc: AngularInterval) -> float:
+        if poi.important_aspects is None:
+            return arcs.gain_of(arc)
+        # Measure the part of `arc` inside important_aspects not yet in arcs.
+        before = self._restricted_measure(poi, arcs)
+        probe = arcs.copy()
+        probe.add(arc)
+        return self._restricted_measure(poi, probe) - before
+
+    @staticmethod
+    def _restricted_measure(poi, arcs: ArcSet) -> float:
+        measure = 0.0
+        for lo, hi in poi.important_aspects.segments():
+            for seg_lo, seg_hi in arcs.segments():
+                overlap = min(hi, seg_hi) - max(lo, seg_lo)
+                if overlap > 0.0:
+                    measure += overlap
+        return measure
+
+    def add_photo(self, photo: Photo) -> CoverageValue:
+        """Add *photo* and return the realized marginal gain."""
+        gain = self.gain_of(photo)
+        theta = self.index.effective_angle
+        for poi_id, direction in self.index.incidences(photo):
+            self._point_covered[poi_id] = True
+            if math.isnan(direction):
+                continue
+            arcs = self._arcs.get(poi_id)
+            if arcs is None:
+                arcs = ArcSet()
+                self._arcs[poi_id] = arcs
+            arcs.add(AngularInterval.around(direction, theta))
+        self._total = self._total + gain
+        return gain
+
+    def total(self) -> CoverageValue:
+        return self._total
+
+    def covered_poi_ids(self) -> Sequence[int]:
+        return [pid for pid, covered in self._point_covered.items() if covered]

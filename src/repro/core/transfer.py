@@ -1,0 +1,175 @@
+"""Bandwidth-aware transfer scheduling (Section III-D, last paragraphs).
+
+The reallocation solution says where each photo *should* end up; this
+module turns it into an ordered transmission plan and executes it under a
+contact byte budget (``bandwidth * contact_duration``).  Photos are
+considered in greedy-selection order, the higher-delivery-probability
+node's selection first, so when a contact is cut short the most valuable
+photos have already moved.  An unfinished transmission is discarded.
+
+Eviction is lazy: a node drops photos that are *not* part of its target
+selection only when it needs room for an incoming photo (lowest selection
+priority dropped first).  If the whole plan completes, each node's
+collection is trimmed to exactly its target selection, matching the
+paper's "photo collections gradually become the same as the solution".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from .metadata import Photo
+from .selection import ReallocationResult
+
+__all__ = ["Transfer", "TransferPlan", "build_transfer_plan", "execute_transfer_plan", "TransferOutcome"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One scheduled photo transmission."""
+
+    photo: Photo
+    sender_id: int
+    receiver_id: int
+
+
+@dataclass
+class TransferPlan:
+    """The ordered list of transmissions realizing a reallocation solution."""
+
+    transfers: List[Transfer] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.photo.size_bytes for t in self.transfers)
+
+    def __len__(self) -> int:
+        return len(self.transfers)
+
+    def __iter__(self):
+        return iter(self.transfers)
+
+
+def build_transfer_plan(
+    result: ReallocationResult,
+    holdings: Dict[int, Sequence[Photo]],
+) -> TransferPlan:
+    """Derive the transmissions needed to realize *result*.
+
+    *holdings* maps each participating node id to its pre-contact photo
+    collection.  For every photo in a node's target selection that the node
+    does not already hold, a transfer from the peer is scheduled; the first
+    (higher-probability) node's needs come first, each in selection order.
+    """
+    plan = TransferPlan()
+    node_ids = [result.first.node_id, result.second.node_id]
+    held = {node_id: {p.photo_id for p in holdings.get(node_id, ())} for node_id in node_ids}
+
+    for selection in (result.first, result.second):
+        receiver = selection.node_id
+        sender = node_ids[1] if receiver == node_ids[0] else node_ids[0]
+        for photo in selection.photos:
+            if photo.photo_id not in held[receiver]:
+                plan.transfers.append(Transfer(photo=photo, sender_id=sender, receiver_id=receiver))
+    return plan
+
+
+@dataclass
+class TransferOutcome:
+    """What actually happened during a (possibly truncated) contact."""
+
+    final_collections: Dict[int, List[Photo]]
+    completed_transfers: List[Transfer]
+    truncated: bool
+    bytes_used: int
+
+    def delivered_to(self, node_id: int) -> List[Photo]:
+        return [t.photo for t in self.completed_transfers if t.receiver_id == node_id]
+
+
+def execute_transfer_plan(
+    plan: TransferPlan,
+    result: ReallocationResult,
+    holdings: Dict[int, Sequence[Photo]],
+    capacities: Dict[int, Optional[int]],
+    byte_budget: Optional[int] = None,
+) -> TransferOutcome:
+    """Run *plan* under a contact byte budget and return the outcome.
+
+    Parameters
+    ----------
+    plan, result, holdings:
+        Output of :func:`build_transfer_plan` and its inputs.
+    capacities:
+        Per-node storage capacity in bytes (``None`` = unlimited, e.g. the
+        command center).
+    byte_budget:
+        ``bandwidth * duration`` for the contact; ``None`` means the
+        contact is long enough for everything.
+    """
+    collections: Dict[int, List[Photo]] = {
+        node_id: list(photos) for node_id, photos in holdings.items()
+    }
+    target_ids = {
+        result.first.node_id: result.first.photo_ids(),
+        result.second.node_id: result.second.photo_ids(),
+    }
+    # Eviction priority: photos not in the target selection go first, in
+    # reverse of their (peer's) selection value -- we simply drop photos
+    # that are not targets, oldest-id-last for determinism.
+    completed: List[Transfer] = []
+    bytes_used = 0
+    truncated = False
+
+    for transfer in plan:
+        size = transfer.photo.size_bytes
+        if byte_budget is not None and bytes_used + size > byte_budget:
+            truncated = True
+            break
+        receiver = transfer.receiver_id
+        capacity = capacities.get(receiver)
+        if capacity is not None:
+            if not _make_room(collections[receiver], target_ids[receiver], capacity, size):
+                # Could not make room without evicting a target photo; skip.
+                continue
+        collections[receiver].append(transfer.photo)
+        completed.append(transfer)
+        bytes_used += size
+
+    if not truncated:
+        # Plan fully executed: trim every participant to its target selection.
+        for node_id, ids in target_ids.items():
+            capacity = capacities.get(node_id)
+            if capacity is None:
+                # Unlimited nodes (the command center) never drop photos.
+                continue
+            collections[node_id] = [p for p in collections[node_id] if p.photo_id in ids]
+
+    return TransferOutcome(
+        final_collections=collections,
+        completed_transfers=completed,
+        truncated=truncated,
+        bytes_used=bytes_used,
+    )
+
+
+def _make_room(
+    collection: List[Photo],
+    target_ids: Set[int],
+    capacity: int,
+    incoming_size: int,
+) -> bool:
+    """Evict non-target photos until *incoming_size* fits; False if impossible."""
+    used = sum(p.size_bytes for p in collection)
+    if used + incoming_size <= capacity:
+        return True
+    evictable = sorted(
+        (p for p in collection if p.photo_id not in target_ids),
+        key=lambda p: p.photo_id,
+    )
+    while evictable and used + incoming_size > capacity:
+        victim = evictable.pop()
+        collection.remove(victim)
+        used -= victim.size_bytes
+    return used + incoming_size <= capacity

@@ -1,0 +1,30 @@
+"""DTN simulator substrate: events, storage, nodes, and the event loop."""
+
+from .events import Event, EventKind, EventQueue
+from .node import COMMAND_CENTER_ID, CommandCenter, DTNNode
+from .simulator import (
+    GIGABYTE,
+    MEGABYTE,
+    SampleRecord,
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+)
+from .storage import NodeStorage, StorageFullError
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "COMMAND_CENTER_ID",
+    "CommandCenter",
+    "DTNNode",
+    "GIGABYTE",
+    "MEGABYTE",
+    "SampleRecord",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "NodeStorage",
+    "StorageFullError",
+]

@@ -1,0 +1,96 @@
+"""PoI-list dissemination through the DTN (Section II-A).
+
+"The command center issues a PoI list ... and spreads it to as many
+participants as possible through DTN or other communication networks."
+The list is a few coordinates, so its spread is bandwidth-free epidemic
+flooding: any contact between a knower and a non-knower transfers it.
+
+:func:`poi_list_arrival_times` computes, for a given trace and set of
+initially informed nodes (typically the gateways, who hear it over their
+uplinks), when each participant first learns the list -- the epidemic
+closure of the contact sequence.  :func:`delay_participation` then turns
+those times into a workload transform: photos a participant takes before
+it knows the list are not part of the crowdsourcing task and are dropped
+from the schedule.  Together they let experiments measure how
+dissemination delay eats into the effective crowdsourcing window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from ..traces.model import ContactTrace
+from ..workload.photos import PhotoArrival
+
+__all__ = [
+    "poi_list_arrival_times",
+    "dissemination_quantiles",
+    "delay_participation",
+]
+
+
+def poi_list_arrival_times(
+    trace: ContactTrace,
+    source_ids: Iterable[int],
+    issue_time: float = 0.0,
+) -> Dict[int, float]:
+    """When each node first holds the PoI list (epidemic closure).
+
+    *source_ids* know the list at *issue_time*; every contact at or after
+    that instant between a knower and a non-knower informs the latter at
+    the contact start.  Nodes never reached map to ``math.inf``.
+    """
+    informed: Dict[int, float] = {node: issue_time for node in source_ids}
+    for contact in trace:
+        if contact.start < issue_time:
+            continue
+        a_knows = contact.node_a in informed and informed[contact.node_a] <= contact.start
+        b_knows = contact.node_b in informed and informed[contact.node_b] <= contact.start
+        if a_knows and not b_knows:
+            informed[contact.node_b] = contact.start
+        elif b_knows and not a_knows:
+            informed[contact.node_a] = contact.start
+    return {
+        node: informed.get(node, math.inf)
+        for node in trace.node_ids() | set(source_ids)
+    }
+
+
+def dissemination_quantiles(
+    arrival_times: Dict[int, float],
+    quantiles: Sequence[float] = (0.5, 0.9, 1.0),
+) -> Dict[float, float]:
+    """Time by which the given fraction of nodes holds the list.
+
+    ``inf`` means the fraction is never reached within the trace.
+    """
+    for q in quantiles:
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantiles must be in (0, 1], got {q}")
+    times = sorted(arrival_times.values())
+    if not times:
+        return {q: math.inf for q in quantiles}
+    out: Dict[float, float] = {}
+    for q in quantiles:
+        rank = max(0, math.ceil(q * len(times)) - 1)
+        out[q] = times[rank]
+    return out
+
+
+def delay_participation(
+    arrivals: Sequence[PhotoArrival],
+    arrival_times: Dict[int, float],
+) -> List[PhotoArrival]:
+    """Drop photos taken before their owner learned the PoI list.
+
+    A participant who has not received the list yet does not know what to
+    photograph; their earlier photos are not part of the task.  Owners
+    absent from *arrival_times* are treated as never informed.
+    """
+    kept: List[PhotoArrival] = []
+    for arrival in arrivals:
+        informed_at = arrival_times.get(arrival.owner_id, math.inf)
+        if arrival.time >= informed_at:
+            kept.append(arrival)
+    return kept

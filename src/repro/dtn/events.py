@@ -1,0 +1,79 @@
+"""Event queue for the discrete-event DTN simulator.
+
+The simulation is driven by three event families: node contacts (from a
+contact trace, including gateway contacts with the command center), photo
+creations (from the workload generator), and metric samples.  Events are
+processed in time order; ties break by a fixed kind priority (photo
+creations land before contacts at the same instant so a just-taken photo
+can ride the simultaneous contact) and then by a monotone sequence number
+so insertion order is deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind:
+    """Tie-break priorities for simultaneous events (lower runs first)."""
+
+    PHOTO_CREATED = 0
+    CONTACT = 1
+    SAMPLE = 2
+    END = 3
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled simulation event.
+
+    ``payload`` is interpreted by kind:
+
+    * ``PHOTO_CREATED`` -- ``(owner_id, Photo)``
+    * ``CONTACT``       -- ``(node_a, node_b, duration_seconds)``
+    * ``SAMPLE``        -- ``None``
+    * ``END``           -- ``None``
+    """
+
+    time: float
+    kind: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0.0:
+            raise ValueError(f"event time must be non-negative, got {self.time}")
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._sequence = itertools.count()
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.time, event.kind, next(self._sequence), event))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)[3]
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain_until(self, deadline: float) -> Iterator[Event]:
+        """Pop events with ``time <= deadline`` in order."""
+        while self._heap and self._heap[0][0] <= deadline:
+            yield self.pop()

@@ -1,0 +1,119 @@
+"""DTN participant nodes and the command center.
+
+A :class:`DTNNode` bundles everything one crowdsourcing participant
+carries: bounded photo storage, the metadata cache, the inter-contact
+estimator feeding Eq. 1, and a PROPHET table whose entry toward the
+command center is the ``p_i`` of Definition 2.  ``scratch`` is a free-form
+dict where routing schemes keep per-node protocol state (e.g. spray copy
+counters) without the node module knowing about every scheme.
+
+The :class:`CommandCenter` is the special node ``n_0``: unlimited storage,
+delivery probability 1 (it trivially "delivers" to itself), and it never
+drops photos -- so its metadata snapshot doubles as the acknowledgment
+channel described in Section III-B.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.metadata import Photo
+from ..metadata_mgmt.cache import CacheEntry, MetadataCache
+from ..metadata_mgmt.intercontact import DEFAULT_VALIDITY_THRESHOLD, InterContactEstimator
+from ..routing.prophet import ProphetParameters, ProphetTable
+from .storage import NodeStorage
+
+__all__ = ["DTNNode", "CommandCenter", "COMMAND_CENTER_ID"]
+
+#: Conventional node id of the command center (``n_0`` in the paper).
+COMMAND_CENTER_ID = 0
+
+
+class DTNNode:
+    """One crowdsourcing participant."""
+
+    def __init__(
+        self,
+        node_id: int,
+        storage_bytes: Optional[int],
+        is_gateway: bool = False,
+        prophet_params: ProphetParameters = ProphetParameters(),
+        validity_threshold: float = DEFAULT_VALIDITY_THRESHOLD,
+        command_center_id: int = COMMAND_CENTER_ID,
+    ) -> None:
+        if node_id == command_center_id:
+            raise ValueError(
+                f"node id {node_id} is reserved for the command center; use CommandCenter"
+            )
+        self.node_id = node_id
+        self.is_gateway = is_gateway
+        self.storage = NodeStorage(storage_bytes)
+        self.cache = MetadataCache(
+            owner_id=node_id,
+            command_center_id=command_center_id,
+            threshold=validity_threshold,
+        )
+        self.estimator = InterContactEstimator()
+        self.prophet = ProphetTable(node_id, prophet_params)
+        self.command_center_id = command_center_id
+        self.scratch: Dict[str, Any] = {}
+
+    def delivery_probability(self, now: float) -> float:
+        """``p_i``: PROPHET predictability toward the command center."""
+        return self.prophet.predictability(self.command_center_id, now)
+
+    def snapshot_metadata(self, now: float) -> CacheEntry:
+        """This node's own metadata snapshot, for handing to a contact peer."""
+        return CacheEntry(
+            node_id=self.node_id,
+            photos=tuple(self.storage.photos()),
+            aggregate_rate=self.estimator.aggregate_rate(),
+            snapshot_time=now,
+            delivery_probability=self.delivery_probability(now),
+        )
+
+    def record_contact(self, peer_id: int, now: float) -> None:
+        """Update contact-history statistics (inter-contact estimator)."""
+        self.estimator.record_contact(peer_id, now)
+
+    def __repr__(self) -> str:
+        gateway = ", gateway" if self.is_gateway else ""
+        return f"DTNNode(id={self.node_id}, photos={len(self.storage)}{gateway})"
+
+
+class CommandCenter:
+    """The command center ``n_0``: unlimited storage, never drops photos."""
+
+    def __init__(self, node_id: int = COMMAND_CENTER_ID) -> None:
+        self.node_id = node_id
+        self.storage = NodeStorage(capacity_bytes=None)
+        self.received_count = 0
+
+    def receive(self, photo: Photo) -> bool:
+        """Store *photo*; returns False if it was already delivered."""
+        if photo.photo_id in self.storage:
+            return False
+        self.storage.add(photo)
+        self.received_count += 1
+        return True
+
+    def snapshot_metadata(self, now: float) -> CacheEntry:
+        """Acknowledgment snapshot: what has been delivered so far.
+
+        The command center never drops photos, so its entries never expire
+        (``aggregate_rate=0`` keeps Eq. 1 at probability 0 forever, and the
+        cache additionally special-cases node 0).
+        """
+        return CacheEntry(
+            node_id=self.node_id,
+            photos=tuple(self.storage.photos()),
+            aggregate_rate=0.0,
+            snapshot_time=now,
+            delivery_probability=1.0,
+        )
+
+    def photos(self) -> List[Photo]:
+        return self.storage.photos()
+
+    def __repr__(self) -> str:
+        return f"CommandCenter(id={self.node_id}, photos={len(self.storage)})"

@@ -1,0 +1,248 @@
+"""The discrete-event DTN crowdsourcing simulator.
+
+Wires together the substrate (nodes, storage, traces, workload) and a
+pluggable routing scheme, and records the command center's coverage over
+time -- the quantity every figure of Section V plots.
+
+Time is in seconds from the start of the run.  The command center is node
+0 by convention; contacts that involve it (gateway uplinks) are dispatched
+to the scheme's :meth:`~repro.routing.base.RoutingScheme.
+on_command_center_contact` callback, everything else to
+:meth:`~repro.routing.base.RoutingScheme.on_contact`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..core.coverage import DEFAULT_EFFECTIVE_ANGLE, CoverageValue
+from ..core.coverage_index import CoverageIndex, PoICoverageState
+from ..core.metadata import Photo
+from ..core.poi import PoIList
+from ..metadata_mgmt.intercontact import DEFAULT_VALIDITY_THRESHOLD
+from ..routing.base import RoutingScheme
+from ..routing.prophet import ProphetParameters
+from ..traces.model import ContactTrace
+from ..workload.photos import PhotoArrival
+from .events import Event, EventKind, EventQueue
+from .node import COMMAND_CENTER_ID, CommandCenter, DTNNode
+
+__all__ = ["SimulationConfig", "SampleRecord", "SimulationResult", "Simulation"]
+
+GIGABYTE = 1024**3
+MEGABYTE = 1024**2
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs shared by every scheme (Table I defaults).
+
+    ``unlimited_contacts=True`` removes the bandwidth constraint entirely
+    (contacts always complete), which is how the long-duration baseline of
+    Fig. 6 and the BestPossible scheme are configured.
+    """
+
+    storage_bytes: Optional[int] = int(0.6 * GIGABYTE)
+    bandwidth_bytes_per_s: float = 2.0 * MEGABYTE
+    unlimited_contacts: bool = False
+    contact_duration_cap_s: Optional[float] = None
+    effective_angle: float = DEFAULT_EFFECTIVE_ANGLE
+    validity_threshold: float = DEFAULT_VALIDITY_THRESHOLD
+    prophet: ProphetParameters = ProphetParameters()
+    sample_interval_s: float = 10.0 * 3600.0
+    command_center_id: int = COMMAND_CENTER_ID
+
+    def __post_init__(self) -> None:
+        if self.storage_bytes is not None and self.storage_bytes <= 0:
+            raise ValueError(f"storage must be positive or None, got {self.storage_bytes}")
+        if self.bandwidth_bytes_per_s <= 0.0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_bytes_per_s}")
+        if self.sample_interval_s <= 0.0:
+            raise ValueError(f"sample interval must be positive, got {self.sample_interval_s}")
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """Command-center coverage observed at one sample instant."""
+
+    time: float
+    point_coverage: float  # normalized: fraction of total PoI weight
+    aspect_coverage_deg: float  # mean covered degrees per PoI
+    delivered_photos: int
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produces."""
+
+    scheme: str
+    samples: List[SampleRecord] = field(default_factory=list)
+    final_coverage: CoverageValue = CoverageValue.ZERO
+    delivered_photos: int = 0
+    created_photos: int = 0
+    contacts_processed: int = 0
+    center_contacts: int = 0
+    delivery_latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def final_point_coverage(self) -> float:
+        return self.samples[-1].point_coverage if self.samples else 0.0
+
+    @property
+    def final_aspect_coverage_deg(self) -> float:
+        return self.samples[-1].aspect_coverage_deg if self.samples else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """The *q*-quantile (0..1) of taken-to-delivered latency, seconds.
+
+        Returns ``nan`` when nothing was delivered.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.delivery_latencies_s:
+            return float("nan")
+        ordered = sorted(self.delivery_latencies_s)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+
+class Simulation:
+    """One simulation run: a trace, a workload, a scheme, a config."""
+
+    def __init__(
+        self,
+        trace: ContactTrace,
+        pois: PoIList,
+        photo_arrivals: Sequence[PhotoArrival],
+        scheme: RoutingScheme,
+        config: SimulationConfig = SimulationConfig(),
+        gateway_ids: Iterable[int] = (),
+        end_time_s: Optional[float] = None,
+    ) -> None:
+        self.config = config
+        self.pois = pois
+        self.index = CoverageIndex(pois, effective_angle=config.effective_angle)
+        self.command_center = CommandCenter(config.command_center_id)
+        self.scheme = scheme
+        self.scratch: Dict[str, Any] = {}
+        gateways = set(gateway_ids)
+
+        participant_ids = set(trace.node_ids()) | {a.owner_id for a in photo_arrivals}
+        participant_ids.discard(config.command_center_id)
+        self.nodes: Dict[int, DTNNode] = {
+            node_id: DTNNode(
+                node_id=node_id,
+                storage_bytes=config.storage_bytes,
+                is_gateway=node_id in gateways,
+                prophet_params=config.prophet,
+                validity_threshold=config.validity_threshold,
+                command_center_id=config.command_center_id,
+            )
+            for node_id in sorted(participant_ids)
+        }
+
+        self._cc_coverage = PoICoverageState(self.index)
+        self._queue = EventQueue()
+        self._end_time = end_time_s if end_time_s is not None else max(
+            trace.end_time, max((a.time for a in photo_arrivals), default=0.0)
+        )
+        for contact in trace:
+            duration = contact.duration
+            if config.contact_duration_cap_s is not None:
+                duration = min(duration, config.contact_duration_cap_s)
+            self._queue.push(
+                Event(contact.start, EventKind.CONTACT, (contact.node_a, contact.node_b, duration))
+            )
+        for arrival in photo_arrivals:
+            self._queue.push(
+                Event(arrival.time, EventKind.PHOTO_CREATED, (arrival.owner_id, arrival.photo))
+            )
+        sample_time = config.sample_interval_s
+        while sample_time < self._end_time:
+            self._queue.push(Event(sample_time, EventKind.SAMPLE))
+            sample_time += config.sample_interval_s
+        self._queue.push(Event(self._end_time, EventKind.END))
+
+        self.result = SimulationResult(scheme=scheme.name)
+        self._now = 0.0
+        scheme.bind(self)
+
+    # ------------------------------------------------------------------
+    # Services for routing schemes
+    # ------------------------------------------------------------------
+
+    def byte_budget(self, duration_s: float) -> Optional[int]:
+        """How many bytes fit in a contact of *duration_s* seconds."""
+        if self.config.unlimited_contacts:
+            return None
+        return int(duration_s * self.config.bandwidth_bytes_per_s)
+
+    def deliver(self, photo: Photo) -> bool:
+        """Hand *photo* to the command center; returns False on duplicate."""
+        if self.command_center.receive(photo):
+            self._cc_coverage.add_photo(photo)
+            self.result.delivery_latencies_s.append(max(0.0, self._now - photo.taken_at))
+            return True
+        return False
+
+    def center_coverage(self) -> CoverageValue:
+        """The command center's current (un-normalized) photo coverage."""
+        return self._cc_coverage.total()
+
+    def incidences(self, photo: Photo):
+        return self.index.incidences(photo)
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        cc_id = self.config.command_center_id
+        while self._queue:
+            event = self._queue.pop()
+            self._now = event.time
+            if event.kind == EventKind.PHOTO_CREATED:
+                owner_id, photo = event.payload
+                node = self.nodes.get(owner_id)
+                if node is None:
+                    continue
+                self.result.created_photos += 1
+                self.scheme.on_photo_created(node, photo, event.time)
+            elif event.kind == EventKind.CONTACT:
+                node_a_id, node_b_id, duration = event.payload
+                if cc_id in (node_a_id, node_b_id):
+                    participant_id = node_b_id if node_a_id == cc_id else node_a_id
+                    node = self.nodes.get(participant_id)
+                    if node is None:
+                        continue
+                    self.result.center_contacts += 1
+                    self.scheme.on_command_center_contact(
+                        node, self.command_center, event.time, duration
+                    )
+                else:
+                    node_a = self.nodes.get(node_a_id)
+                    node_b = self.nodes.get(node_b_id)
+                    if node_a is None or node_b is None:
+                        continue
+                    self.result.contacts_processed += 1
+                    self.scheme.on_contact(node_a, node_b, event.time, duration)
+            elif event.kind == EventKind.SAMPLE:
+                self._record_sample(event.time)
+            elif event.kind == EventKind.END:
+                self._record_sample(event.time)
+                break
+        self.result.final_coverage = self.center_coverage()
+        self.result.delivered_photos = self.command_center.received_count
+        return self.result
+
+    def _record_sample(self, time: float) -> None:
+        point_norm, aspect_deg = self.index.normalized(self.center_coverage())
+        self.result.samples.append(
+            SampleRecord(
+                time=time,
+                point_coverage=point_norm,
+                aspect_coverage_deg=aspect_deg,
+                delivered_photos=self.command_center.received_count,
+            )
+        )

@@ -1,0 +1,64 @@
+"""Experiment harness: Table I settings, runner, and per-figure drivers."""
+
+from . import (
+    ablations,
+    centralized_study,
+    dissemination_study,
+    fig3_demo,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    latency_study,
+    sensitivity,
+    weighted_study,
+)
+from .generate_all import generate_all
+from .asciiplot import histogram, line_chart, sparkline
+from .persistence import load_comparison, save_comparison
+from .config import TRACE_CAMBRIDGE, TRACE_MIT, Scenario, ScenarioSpec, TableISettings
+from .report import format_comparison, format_series, format_sweep, format_table
+from .runner import (
+    PAPER_SCHEMES,
+    SCHEME_FACTORIES,
+    AveragedResult,
+    average_results,
+    run_comparison,
+    run_scenario,
+    run_spec,
+)
+
+__all__ = [
+    "ablations",
+    "centralized_study",
+    "dissemination_study",
+    "latency_study",
+    "sensitivity",
+    "generate_all",
+    "histogram",
+    "line_chart",
+    "sparkline",
+    "load_comparison",
+    "save_comparison",
+    "fig3_demo",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "TRACE_CAMBRIDGE",
+    "TRACE_MIT",
+    "Scenario",
+    "ScenarioSpec",
+    "TableISettings",
+    "format_comparison",
+    "format_series",
+    "format_sweep",
+    "format_table",
+    "PAPER_SCHEMES",
+    "SCHEME_FACTORIES",
+    "AveragedResult",
+    "average_results",
+    "run_comparison",
+    "run_scenario",
+    "run_spec",
+]

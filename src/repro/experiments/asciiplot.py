@@ -1,0 +1,122 @@
+"""Terminal plotting: sparklines and multi-series line charts in text.
+
+The harness reports everything as aligned tables; for eyeballing trends
+(coverage-vs-time curves, sweep shapes) these helpers render compact
+Unicode charts that drop straight into CLI output and saved reports.  No
+plotting dependency is available offline, and text charts diff cleanly in
+version control anyway.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+__all__ = ["sparkline", "line_chart", "histogram"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend: each value mapped onto eight block heights.
+
+    Non-finite values render as spaces.  An all-equal series renders at
+    the lowest level (a flat line).
+    """
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return " " * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars: List[str] = []
+    for value in values:
+        if not math.isfinite(value):
+            chars.append(" ")
+        elif span == 0.0:
+            chars.append(_SPARK_LEVELS[0])
+        else:
+            level = int((value - lo) / span * (len(_SPARK_LEVELS) - 1))
+            chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """A multi-series scatter-line chart on a character grid.
+
+    Each series is resampled onto *width* columns and drawn with its own
+    marker (assigned in insertion order); the y-axis is annotated with the
+    data range.  Intended for quick trend comparison, not precision.
+    """
+    if width < 8 or height < 3:
+        raise ValueError(f"chart needs width >= 8 and height >= 3, got {width}x{height}")
+    markers = "ox+*#@%&"
+    values = [v for s in series.values() for v in s if math.isfinite(v)]
+    if not values:
+        return "(no data)"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, data) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        points = [v for v in data]
+        if not points:
+            continue
+        for column in range(width):
+            position = column / max(1, width - 1) * (len(points) - 1)
+            value = points[int(round(position))]
+            if not math.isfinite(value):
+                continue
+            row = height - 1 - int((value - lo) / (hi - lo) * (height - 1))
+            grid[row][column] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{hi:8.3g} |"
+        elif row_index == height - 1:
+            label = f"{lo:8.3g} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"          {legend}")
+    if y_label:
+        lines.insert(0, f"  {y_label}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+) -> str:
+    """A horizontal-bar histogram of *values*."""
+    if bins < 1:
+        raise ValueError(f"bins must be at least 1, got {bins}")
+    finite = sorted(v for v in values if math.isfinite(v))
+    if not finite:
+        return "(no data)"
+    lo, hi = finite[0], finite[-1]
+    if hi == lo:
+        return f"{lo:10.3g} | {'#' * width} ({len(finite)})"
+    counts = [0] * bins
+    for value in finite:
+        index = min(bins - 1, int((value - lo) / (hi - lo) * bins))
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for bin_index, count in enumerate(counts):
+        edge = lo + (hi - lo) * bin_index / bins
+        bar = "#" * int(round(count / peak * width)) if peak else ""
+        lines.append(f"{edge:10.3g} | {bar} ({count})")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Extension experiment: distributed DTN selection vs. a connected server.
+
+SmartPhoto (Section VI) assumes reliable connectivity and selects photos
+centrally; the paper's contribution is doing comparably well when only a
+DTN exists.  This study quantifies the connectivity gap on one scenario:
+
+* **centralized** -- a server that instantly sees every generated photo
+  picks the best set under the same total byte budget the DTN scheme
+  actually delivered (apples-to-apples volume);
+* **centralized-unbounded** -- the same server with no budget: the
+  information-theoretic ceiling of the workload;
+* **our-scheme (DTN)** -- what the command center really received.
+
+The DTN scheme's coverage divided by the budget-matched centralized
+coverage is the *efficiency* of distributed selection: how close the
+greedy, partial-knowledge, contact-constrained process comes to the best
+possible use of the same delivered bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.centralized import select_max_coverage
+from ..core.coverage import CoverageValue
+from ..core.coverage_index import CoverageIndex
+from .config import ScenarioSpec
+from .runner import run_scenario
+
+__all__ = ["CentralizedComparison", "run_centralized_study"]
+
+
+@dataclass
+class CentralizedComparison:
+    """Coverage of the three selection worlds on one scenario."""
+
+    dtn_coverage: CoverageValue
+    dtn_delivered: int
+    centralized_budgeted: CoverageValue
+    centralized_unbounded: CoverageValue
+    num_candidates: int
+
+    def efficiency_point(self) -> float:
+        """DTN point coverage relative to the budget-matched server."""
+        if self.centralized_budgeted.point == 0.0:
+            return 1.0
+        return self.dtn_coverage.point / self.centralized_budgeted.point
+
+    def efficiency_aspect(self) -> float:
+        if self.centralized_budgeted.aspect == 0.0:
+            return 1.0
+        return self.dtn_coverage.aspect / self.centralized_budgeted.aspect
+
+
+def run_centralized_study(
+    scale: float = 0.2,
+    seed: int = 0,
+    scheme_name: str = "our-scheme",
+) -> CentralizedComparison:
+    """Compare the DTN scheme against the connected-server selections."""
+    scenario = ScenarioSpec(scale=scale, seed=seed).build()
+    result = run_scenario(scenario, scheme_name)
+
+    index = CoverageIndex(scenario.pois, effective_angle=scenario.config.effective_angle)
+    candidates = [arrival.photo for arrival in scenario.photo_arrivals]
+    delivered_bytes = result.delivered_photos * (
+        candidates[0].size_bytes if candidates else 0
+    )
+    budgeted = select_max_coverage(index, candidates, byte_budget=delivered_bytes)
+    unbounded = select_max_coverage(index, candidates)
+
+    return CentralizedComparison(
+        dtn_coverage=result.final_coverage,
+        dtn_delivered=result.delivered_photos,
+        centralized_budgeted=budgeted.coverage,
+        centralized_unbounded=unbounded.coverage,
+        num_candidates=len(candidates),
+    )

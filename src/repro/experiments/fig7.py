@@ -1,0 +1,74 @@
+"""Fig. 7: the effect of storage capacity (panels a-c MIT, d-f Cambridge).
+
+Sweeps per-node storage while generating 250 photos/hour, recording final
+point coverage, aspect coverage, and the number of photos delivered to
+the command center (the paper plots the last on a log scale).  Shapes to
+reproduce: coverage grows with storage for our scheme and NoMetadata
+(more replicas of useful photos survive); ModifiedSpray is largely flat
+(its copy count, not storage, is the binding constraint); our scheme and
+NoMetadata deliver orders of magnitude fewer photos than the spray
+baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .config import TRACE_MIT, ScenarioSpec
+from .report import format_sweep
+from .runner import AveragedResult, run_comparison
+
+__all__ = ["STORAGE_SWEEP_GB", "SWEEP_SCHEMES", "spec", "run", "report"]
+
+#: Storage values swept, in GB (0.6 GB is the Fig. 5 reference point).
+STORAGE_SWEEP_GB: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: Schemes shown in the storage sweep panels.
+SWEEP_SCHEMES: Sequence[str] = (
+    "our-scheme",
+    "no-metadata",
+    "modified-spray",
+    "spray-and-wait",
+)
+
+
+def spec(
+    storage_gb: float,
+    trace_name: str = TRACE_MIT,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The Fig. 7 condition for one storage size on one trace."""
+    return ScenarioSpec(
+        trace_name=trace_name,
+        storage_gb=storage_gb,
+        photos_per_hour=250.0,
+        scale=scale,
+        seed=seed,
+    )
+
+
+def run(
+    trace_name: str = TRACE_MIT,
+    scale: float = 1.0,
+    num_runs: int = 1,
+    seed: int = 0,
+    storage_values: Sequence[float] = STORAGE_SWEEP_GB,
+    schemes: Sequence[str] = SWEEP_SCHEMES,
+) -> Dict[str, Dict[str, AveragedResult]]:
+    """Sweep storage; returns ``{storage_label: {scheme: result}}``."""
+    sweep: Dict[str, Dict[str, AveragedResult]] = {}
+    for storage_gb in storage_values:
+        condition = spec(storage_gb, trace_name=trace_name, scale=scale, seed=seed)
+        sweep[f"{storage_gb:.1f}GB"] = run_comparison(condition, schemes, num_runs=num_runs)
+    return sweep
+
+
+def report(sweep: Dict[str, Dict[str, AveragedResult]], trace_name: str = TRACE_MIT) -> str:
+    panels = "abc" if trace_name == TRACE_MIT else "def"
+    parts = [
+        format_sweep(sweep, "point", title=f"Fig 7({panels[0]}): point coverage vs storage"),
+        format_sweep(sweep, "aspect", title=f"Fig 7({panels[1]}): aspect coverage vs storage"),
+        format_sweep(sweep, "delivered", title=f"Fig 7({panels[2]}): delivered photos vs storage"),
+    ]
+    return "\n\n".join(parts)

@@ -1,0 +1,65 @@
+"""Regenerate every paper table/figure in one call.
+
+This is the library-level engine behind ``scripts/generate_experiments.py``
+-- importable so tests (and users) can drive full regenerations
+programmatically and collect the reports without shelling out.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from . import fig3_demo, fig5, fig6, fig7, fig8
+from .config import TRACE_CAMBRIDGE, TRACE_MIT
+
+__all__ = ["generate_all"]
+
+
+def generate_all(
+    scale: float = 0.35,
+    num_runs: int = 3,
+    seed: int = 0,
+    output_dir: Optional[Path] = None,
+    progress: Callable[[str], None] = lambda message: None,
+) -> Dict[str, str]:
+    """Run every experiment; returns ``{name: report_text}``.
+
+    When *output_dir* is given, each report is also written to
+    ``<output_dir>/full_<name>.txt``.  *progress* receives one message per
+    experiment as it starts (wire it to ``print`` for a live log).
+    """
+    header = f"(scale={scale}, runs={num_runs}, seed={seed})"
+    reports: Dict[str, str] = {}
+
+    progress("fig3 demo")
+    reports["fig3"] = fig3_demo.report(fig3_demo.run(seed=seed))
+
+    progress("fig5 coverage vs time")
+    reports["fig5"] = header + "\n" + fig5.report(
+        fig5.run(scale=scale, num_runs=num_runs, seed=seed)
+    )
+
+    progress("fig6 contact duration")
+    reports["fig6"] = header + "\n" + fig6.report(
+        fig6.run(scale=scale, num_runs=num_runs, seed=seed)
+    )
+
+    for trace_name in (TRACE_MIT, TRACE_CAMBRIDGE):
+        progress(f"fig7 storage sweep ({trace_name})")
+        sweep = fig7.run(trace_name=trace_name, scale=scale, num_runs=num_runs, seed=seed)
+        reports[f"fig7_{trace_name}"] = header + "\n" + fig7.report(sweep, trace_name)
+
+    for trace_name in (TRACE_MIT, TRACE_CAMBRIDGE):
+        progress(f"fig8 generation-rate sweep ({trace_name})")
+        sweep = fig8.run(trace_name=trace_name, scale=scale, num_runs=num_runs, seed=seed)
+        reports[f"fig8_{trace_name}"] = header + "\n" + fig8.report(sweep, trace_name)
+
+    if output_dir is not None:
+        output_dir = Path(output_dir)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        for name, text in reports.items():
+            (output_dir / f"full_{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return reports

@@ -1,0 +1,133 @@
+"""JSON persistence for experiment results.
+
+The harness's text tables are for humans; these converters emit/load the
+same results as JSON so downstream tooling (plotting notebooks, regression
+dashboards) can consume them.  Round-trips are lossless for the fields the
+figures use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, TextIO, Union
+
+from ..core.coverage import CoverageValue
+from ..dtn.simulator import SampleRecord, SimulationResult
+from .runner import AveragedResult
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "averaged_to_dict",
+    "averaged_from_dict",
+    "save_comparison",
+    "load_comparison",
+]
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """A :class:`SimulationResult` as a JSON-serializable dict."""
+    return {
+        "scheme": result.scheme,
+        "final_coverage": {
+            "point": result.final_coverage.point,
+            "aspect": result.final_coverage.aspect,
+        },
+        "delivered_photos": result.delivered_photos,
+        "created_photos": result.created_photos,
+        "contacts_processed": result.contacts_processed,
+        "center_contacts": result.center_contacts,
+        "delivery_latencies_s": list(result.delivery_latencies_s),
+        "samples": [
+            {
+                "time": sample.time,
+                "point_coverage": sample.point_coverage,
+                "aspect_coverage_deg": sample.aspect_coverage_deg,
+                "delivered_photos": sample.delivered_photos,
+            }
+            for sample in result.samples
+        ],
+    }
+
+
+def result_from_dict(payload: Dict[str, Any]) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`."""
+    result = SimulationResult(
+        scheme=payload["scheme"],
+        final_coverage=CoverageValue(
+            payload["final_coverage"]["point"], payload["final_coverage"]["aspect"]
+        ),
+        delivered_photos=payload["delivered_photos"],
+        created_photos=payload.get("created_photos", 0),
+        contacts_processed=payload.get("contacts_processed", 0),
+        center_contacts=payload.get("center_contacts", 0),
+        delivery_latencies_s=list(payload.get("delivery_latencies_s", [])),
+    )
+    for sample in payload["samples"]:
+        result.samples.append(
+            SampleRecord(
+                time=sample["time"],
+                point_coverage=sample["point_coverage"],
+                aspect_coverage_deg=sample["aspect_coverage_deg"],
+                delivered_photos=sample["delivered_photos"],
+            )
+        )
+    return result
+
+
+def averaged_to_dict(result: AveragedResult) -> Dict[str, Any]:
+    return {
+        "scheme": result.scheme,
+        "runs": result.runs,
+        "point_coverage": result.point_coverage,
+        "aspect_coverage_deg": result.aspect_coverage_deg,
+        "delivered_photos": result.delivered_photos,
+        "sample_times": list(result.sample_times),
+        "point_series": list(result.point_series),
+        "aspect_series_deg": list(result.aspect_series_deg),
+        "delivered_series": list(result.delivered_series),
+    }
+
+
+def averaged_from_dict(payload: Dict[str, Any]) -> AveragedResult:
+    return AveragedResult(
+        scheme=payload["scheme"],
+        runs=payload["runs"],
+        point_coverage=payload["point_coverage"],
+        aspect_coverage_deg=payload["aspect_coverage_deg"],
+        delivered_photos=payload["delivered_photos"],
+        sample_times=list(payload.get("sample_times", [])),
+        point_series=list(payload.get("point_series", [])),
+        aspect_series_deg=list(payload.get("aspect_series_deg", [])),
+        delivered_series=list(payload.get("delivered_series", [])),
+    )
+
+
+def save_comparison(
+    results: Dict[str, AveragedResult],
+    destination: PathOrFile,
+    metadata: Dict[str, Any] = None,
+) -> None:
+    """Persist a scheme->result comparison (one figure condition) as JSON."""
+    payload = {
+        "metadata": metadata or {},
+        "results": {name: averaged_to_dict(result) for name, result in results.items()},
+    }
+    if isinstance(destination, (str, Path)):
+        Path(destination).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    else:
+        json.dump(payload, destination, indent=2)
+
+
+def load_comparison(source: PathOrFile) -> Dict[str, AveragedResult]:
+    """Load a comparison saved by :func:`save_comparison`."""
+    if isinstance(source, (str, Path)):
+        payload = json.loads(Path(source).read_text(encoding="utf-8"))
+    else:
+        payload = json.load(source)
+    return {
+        name: averaged_from_dict(item) for name, item in payload["results"].items()
+    }

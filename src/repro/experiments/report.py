@@ -1,0 +1,109 @@
+"""Plain-text result tables, one row per scheme or parameter point.
+
+The paper reports figures; the harness regenerates the same series as
+aligned text tables so they can be diffed across runs and pasted into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .runner import AveragedResult
+
+__all__ = ["format_table", "format_comparison", "format_series", "format_sweep"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """ASCII table with per-column width alignment."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {columns}")
+    widths = [
+        max(len(str(headers[i])), max((len(str(row[i])) for row in rows), default=0))
+        for i in range(columns)
+    ]
+    lines = [
+        "  ".join(str(headers[i]).ljust(widths[i]) for i in range(columns)),
+        "  ".join("-" * widths[i] for i in range(columns)),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(row[i]).ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def format_comparison(results: Dict[str, AveragedResult], title: str = "") -> str:
+    """Final-value comparison across schemes (one paper-figure endpoint)."""
+    rows = [
+        [
+            name,
+            f"{r.point_coverage:.3f}",
+            f"{r.aspect_coverage_deg:.1f}",
+            f"{r.delivered_photos:.0f}",
+            str(r.runs),
+        ]
+        for name, r in results.items()
+    ]
+    table = format_table(
+        ["scheme", "point-cov", "aspect-deg", "delivered", "runs"], rows
+    )
+    return f"{title}\n{table}" if title else table
+
+
+def format_series(
+    results: Dict[str, AveragedResult],
+    metric: str = "point",
+    title: str = "",
+) -> str:
+    """Coverage-versus-time table (the Fig. 5/6 series).
+
+    *metric* is ``point``, ``aspect`` or ``delivered``.
+    """
+    attribute = {
+        "point": "point_series",
+        "aspect": "aspect_series_deg",
+        "delivered": "delivered_series",
+    }.get(metric)
+    if attribute is None:
+        raise ValueError(f"unknown metric {metric!r}")
+    names = list(results)
+    if not names:
+        return title
+    times = results[names[0]].sample_times
+    rows = []
+    for i, time in enumerate(times):
+        row = [f"{time / 3600.0:.0f}h"]
+        for name in names:
+            series = getattr(results[name], attribute)
+            row.append(f"{series[i]:.3f}" if i < len(series) else "-")
+        rows.append(row)
+    table = format_table(["time"] + names, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def format_sweep(
+    sweep: Dict[str, Dict[str, AveragedResult]],
+    metric: str = "point",
+    title: str = "",
+) -> str:
+    """Parameter-sweep table (Fig. 7/8): one row per parameter value."""
+    attribute = {
+        "point": "point_coverage",
+        "aspect": "aspect_coverage_deg",
+        "delivered": "delivered_photos",
+    }.get(metric)
+    if attribute is None:
+        raise ValueError(f"unknown metric {metric!r}")
+    if not sweep:
+        return title
+    scheme_names: List[str] = list(next(iter(sweep.values())))
+    rows = []
+    for parameter, results in sweep.items():
+        row = [str(parameter)]
+        for name in scheme_names:
+            result = results.get(name)
+            row.append(f"{getattr(result, attribute):.3f}" if result else "-")
+        rows.append(row)
+    table = format_table([metric] + scheme_names, rows)
+    return f"{title}\n{table}" if title else table

@@ -1,0 +1,168 @@
+"""Experiment runner: scheme registry, repetition, and averaging.
+
+Every figure driver boils down to: build a scenario from a
+:class:`~repro.experiments.config.ScenarioSpec`, run each scheme on it
+over several seeds, and average the sample series.  This module factors
+that loop out, including the scheme factory registry (schemes are stateful
+per run, so each run gets a fresh instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..dtn.simulator import Simulation, SimulationConfig, SimulationResult
+from ..routing.base import RoutingScheme
+from ..routing.best_possible import BestPossibleScheme
+from ..routing.coverage_scheme import CoverageSelectionScheme
+from ..routing.direct import DirectDeliveryScheme
+from ..routing.epidemic import EpidemicScheme
+from ..routing.modified_spray import ModifiedSprayScheme
+from ..routing.photonet import PhotoNetScheme
+from ..routing.spray_and_wait import SprayAndWaitScheme
+from .config import Scenario, ScenarioSpec
+
+__all__ = [
+    "SCHEME_FACTORIES",
+    "PAPER_SCHEMES",
+    "AveragedResult",
+    "run_spec",
+    "run_comparison",
+    "average_results",
+]
+
+SchemeFactory = Callable[[], RoutingScheme]
+
+#: Registry of scheme factories by the names Section V-B uses.
+SCHEME_FACTORIES: Dict[str, SchemeFactory] = {
+    "our-scheme": lambda: CoverageSelectionScheme(use_metadata_cache=True),
+    "no-metadata": lambda: CoverageSelectionScheme(use_metadata_cache=False),
+    "best-possible": BestPossibleScheme,
+    "spray-and-wait": lambda: SprayAndWaitScheme(initial_copies=4),
+    "modified-spray": lambda: ModifiedSprayScheme(initial_copies=4),
+    "photonet": PhotoNetScheme,
+    "epidemic": EpidemicScheme,
+    "direct": DirectDeliveryScheme,
+}
+
+#: The five schemes compared in Fig. 5-8, in the paper's legend order.
+PAPER_SCHEMES: Sequence[str] = (
+    "best-possible",
+    "our-scheme",
+    "no-metadata",
+    "modified-spray",
+    "spray-and-wait",
+)
+
+
+@dataclass
+class AveragedResult:
+    """Per-scheme averages over repeated runs of one scenario condition."""
+
+    scheme: str
+    runs: int
+    point_coverage: float
+    aspect_coverage_deg: float
+    delivered_photos: float
+    sample_times: List[float] = field(default_factory=list)
+    point_series: List[float] = field(default_factory=list)
+    aspect_series_deg: List[float] = field(default_factory=list)
+    delivered_series: List[float] = field(default_factory=list)
+
+
+def _make_scheme(name: str) -> RoutingScheme:
+    factory = SCHEME_FACTORIES.get(name)
+    if factory is None:
+        raise KeyError(f"unknown scheme {name!r}; known: {sorted(SCHEME_FACTORIES)}")
+    return factory()
+
+
+def run_spec(spec: ScenarioSpec, scheme_name: str) -> SimulationResult:
+    """One run: build the spec's scenario and run the named scheme on it."""
+    scenario = spec.build()
+    return run_scenario(scenario, scheme_name)
+
+
+def run_scenario(scenario: Scenario, scheme_name: str) -> SimulationResult:
+    """Run the named scheme on an already materialized scenario."""
+    scheme = _make_scheme(scheme_name)
+    config = scenario.config
+    if scheme_name == "best-possible":
+        # The upper bound is defined without storage or bandwidth limits.
+        config = SimulationConfig(
+            storage_bytes=None,
+            bandwidth_bytes_per_s=config.bandwidth_bytes_per_s,
+            unlimited_contacts=True,
+            contact_duration_cap_s=None,
+            effective_angle=config.effective_angle,
+            validity_threshold=config.validity_threshold,
+            prophet=config.prophet,
+            sample_interval_s=config.sample_interval_s,
+            command_center_id=config.command_center_id,
+        )
+    simulation = Simulation(
+        trace=scenario.trace,
+        pois=scenario.pois,
+        photo_arrivals=scenario.photo_arrivals,
+        scheme=scheme,
+        config=config,
+        gateway_ids=scenario.gateway_ids,
+        end_time_s=scenario.end_time_s,
+    )
+    return simulation.run()
+
+
+def average_results(results: Sequence[SimulationResult]) -> AveragedResult:
+    """Average final metrics and sample series over repeated runs.
+
+    Runs may have slightly different numbers of samples (traces end at
+    different instants); series are averaged over the shortest common
+    prefix.
+    """
+    if not results:
+        raise ValueError("no results to average")
+    runs = len(results)
+    common = min(len(r.samples) for r in results)
+    times = [results[0].samples[i].time for i in range(common)]
+    point_series = [
+        sum(r.samples[i].point_coverage for r in results) / runs for i in range(common)
+    ]
+    aspect_series = [
+        sum(r.samples[i].aspect_coverage_deg for r in results) / runs for i in range(common)
+    ]
+    delivered_series = [
+        sum(r.samples[i].delivered_photos for r in results) / runs for i in range(common)
+    ]
+    return AveragedResult(
+        scheme=results[0].scheme,
+        runs=runs,
+        point_coverage=sum(r.final_point_coverage for r in results) / runs,
+        aspect_coverage_deg=sum(r.final_aspect_coverage_deg for r in results) / runs,
+        delivered_photos=sum(r.delivered_photos for r in results) / runs,
+        sample_times=times,
+        point_series=point_series,
+        aspect_series_deg=aspect_series,
+        delivered_series=delivered_series,
+    )
+
+
+def run_comparison(
+    spec: ScenarioSpec,
+    scheme_names: Sequence[str] = PAPER_SCHEMES,
+    num_runs: int = 1,
+) -> Dict[str, AveragedResult]:
+    """Run every scheme on *num_runs* seed-varied instances of *spec*.
+
+    All schemes see the exact same scenario instance per seed (common
+    random numbers), which sharpens the paired comparison the figures
+    make.
+    """
+    if num_runs < 1:
+        raise ValueError(f"num_runs must be at least 1, got {num_runs}")
+    per_scheme: Dict[str, List[SimulationResult]] = {name: [] for name in scheme_names}
+    for run in range(num_runs):
+        scenario = spec.with_seed(spec.seed + 1000 * run).build()
+        for name in scheme_names:
+            per_scheme[name].append(run_scenario(scenario, name))
+    return {name: average_results(results) for name, results in per_scheme.items()}

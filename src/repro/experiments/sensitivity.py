@@ -1,0 +1,135 @@
+"""Seed sensitivity: means, confidence intervals, and paired comparisons.
+
+The paper averages 50 simulation runs per data point.  This module makes
+the statistical side of that reproducible: run a condition across N seeds,
+report mean / standard deviation / a t-based confidence interval per
+scheme, and compare two schemes with a *paired* t-test (all schemes see
+identical scenarios per seed — common random numbers — so pairing is the
+right analysis and much more powerful than unpaired).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy import stats
+
+from .config import ScenarioSpec
+from .runner import run_scenario
+
+__all__ = ["SchemeStatistics", "PairedComparison", "seed_sensitivity", "paired_comparison"]
+
+
+@dataclass(frozen=True)
+class SchemeStatistics:
+    """Across-seed statistics of one scheme's final point coverage."""
+
+    scheme: str
+    num_seeds: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def ci_half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired t-test of two schemes' final point coverage."""
+
+    scheme_a: str
+    scheme_b: str
+    mean_difference: float  # a - b
+    t_statistic: float
+    p_value: float
+
+    def a_significantly_better(self, alpha: float = 0.05) -> bool:
+        return self.mean_difference > 0.0 and self.p_value < alpha
+
+
+def _collect(
+    spec: ScenarioSpec,
+    schemes: Sequence[str],
+    num_seeds: int,
+    metric: str,
+) -> Dict[str, List[float]]:
+    if num_seeds < 2:
+        raise ValueError(f"need at least 2 seeds for statistics, got {num_seeds}")
+    values: Dict[str, List[float]] = {name: [] for name in schemes}
+    for run in range(num_seeds):
+        scenario = spec.with_seed(spec.seed + 1000 * run).build()
+        for name in schemes:
+            result = run_scenario(scenario, name)
+            if metric == "point":
+                values[name].append(result.final_point_coverage)
+            elif metric == "aspect":
+                values[name].append(result.final_aspect_coverage_deg)
+            elif metric == "delivered":
+                values[name].append(float(result.delivered_photos))
+            else:
+                raise ValueError(f"unknown metric {metric!r}")
+    return values
+
+
+def seed_sensitivity(
+    spec: ScenarioSpec,
+    schemes: Sequence[str],
+    num_seeds: int = 5,
+    confidence: float = 0.95,
+    metric: str = "point",
+) -> Dict[str, SchemeStatistics]:
+    """Across-seed mean and t-interval per scheme."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    values = _collect(spec, schemes, num_seeds, metric)
+    out: Dict[str, SchemeStatistics] = {}
+    for name, samples in values.items():
+        data = np.asarray(samples)
+        mean = float(data.mean())
+        std = float(data.std(ddof=1))
+        sem = std / math.sqrt(len(data))
+        t_crit = float(stats.t.ppf(0.5 + confidence / 2.0, df=len(data) - 1))
+        out[name] = SchemeStatistics(
+            scheme=name,
+            num_seeds=len(data),
+            mean=mean,
+            std=std,
+            ci_low=mean - t_crit * sem,
+            ci_high=mean + t_crit * sem,
+        )
+    return out
+
+
+def paired_comparison(
+    spec: ScenarioSpec,
+    scheme_a: str,
+    scheme_b: str,
+    num_seeds: int = 5,
+    metric: str = "point",
+) -> PairedComparison:
+    """Paired t-test of *scheme_a* against *scheme_b* (common seeds)."""
+    values = _collect(spec, (scheme_a, scheme_b), num_seeds, metric)
+    a = np.asarray(values[scheme_a])
+    b = np.asarray(values[scheme_b])
+    differences = a - b
+    if np.allclose(differences, differences[0]):
+        # Zero variance: the t-test is undefined; report degenerately.
+        t_stat = math.inf if differences[0] != 0.0 else 0.0
+        p_value = 0.0 if differences[0] != 0.0 else 1.0
+    else:
+        t_stat, p_value = stats.ttest_rel(a, b)
+        # One-sided p for "a > b".
+        p_value = p_value / 2.0 if t_stat > 0 else 1.0 - p_value / 2.0
+    return PairedComparison(
+        scheme_a=scheme_a,
+        scheme_b=scheme_b,
+        mean_difference=float(differences.mean()),
+        t_statistic=float(t_stat),
+        p_value=float(p_value),
+    )

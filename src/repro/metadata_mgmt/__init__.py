@@ -1,0 +1,18 @@
+"""Metadata management: inter-contact estimation and cache validation (III-B)."""
+
+from .cache import CacheEntry, MetadataCache
+from .intercontact import (
+    DEFAULT_VALIDITY_THRESHOLD,
+    InterContactEstimator,
+    metadata_is_valid,
+    metadata_staleness_probability,
+)
+
+__all__ = [
+    "CacheEntry",
+    "MetadataCache",
+    "DEFAULT_VALIDITY_THRESHOLD",
+    "InterContactEstimator",
+    "metadata_is_valid",
+    "metadata_staleness_probability",
+]

@@ -1,0 +1,27 @@
+"""Routing schemes: PROPHET metric, the paper's scheme, and all baselines."""
+
+from .base import RoutingScheme, individual_coverage
+from .best_possible import BestPossibleScheme
+from .coverage_scheme import CoverageSelectionScheme, NoMetadataScheme
+from .direct import DirectDeliveryScheme
+from .epidemic import EpidemicScheme
+from .modified_spray import ModifiedSprayScheme
+from .photonet import PhotoNetScheme, photo_features
+from .prophet import ProphetParameters, ProphetTable
+from .spray_and_wait import SprayAndWaitScheme
+
+__all__ = [
+    "RoutingScheme",
+    "individual_coverage",
+    "BestPossibleScheme",
+    "CoverageSelectionScheme",
+    "NoMetadataScheme",
+    "DirectDeliveryScheme",
+    "EpidemicScheme",
+    "ModifiedSprayScheme",
+    "PhotoNetScheme",
+    "photo_features",
+    "ProphetParameters",
+    "ProphetTable",
+    "SprayAndWaitScheme",
+]

@@ -1,0 +1,99 @@
+"""Routing-scheme interface for the DTN simulator.
+
+A routing scheme is a strategy object the simulator calls back on three
+occasions: when a participant takes a photo, when two participants meet,
+and when a participant meets the command center.  All schemes share the
+same substrate (storage, bandwidth budget, contact trace); they differ
+only in what they choose to store and transmit -- which is exactly the
+comparison Section V makes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from ..core.coverage import CoverageValue
+from ..core.metadata import Photo
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dtn.simulator import Simulation
+
+__all__ = ["RoutingScheme", "individual_coverage"]
+
+
+class RoutingScheme(abc.ABC):
+    """Base class for all routing/selection schemes.
+
+    Subclasses set :attr:`name` and implement the three callbacks.  The
+    simulator calls :meth:`bind` once before the run starts; ``self.sim``
+    then exposes the coverage index, the node map, the command center, and
+    the byte-budget helper.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.sim: Optional["Simulation"] = None
+
+    def bind(self, sim: "Simulation") -> None:
+        """Attach the scheme to a simulation (called once per run)."""
+        self.sim = sim
+
+    @abc.abstractmethod
+    def on_photo_created(self, node: DTNNode, photo: Photo, now: float) -> None:
+        """A participant just took *photo*; decide whether/how to store it."""
+
+    @abc.abstractmethod
+    def on_contact(self, node_a: DTNNode, node_b: DTNNode, now: float, duration: float) -> None:
+        """Two participants are in contact for *duration* seconds."""
+
+    @abc.abstractmethod
+    def on_command_center_contact(
+        self, node: DTNNode, center: CommandCenter, now: float, duration: float
+    ) -> None:
+        """A gateway participant can reach the command center."""
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping most schemes want on every contact
+    # ------------------------------------------------------------------
+
+    def record_encounter(self, node_a: DTNNode, node_b: DTNNode, now: float) -> None:
+        """Update contact history and PROPHET state for a node-node contact."""
+        node_a.record_contact(node_b.node_id, now)
+        node_b.record_contact(node_a.node_id, now)
+        node_a.prophet.on_encounter(node_b.node_id, now)
+        node_b.prophet.on_encounter(node_a.node_id, now)
+        snapshot_a = node_a.prophet.snapshot(now)
+        snapshot_b = node_b.prophet.snapshot(now)
+        node_a.prophet.apply_transitivity(node_b.node_id, snapshot_b, now)
+        node_b.prophet.apply_transitivity(node_a.node_id, snapshot_a, now)
+
+    def record_center_encounter(self, node: DTNNode, center: CommandCenter, now: float) -> None:
+        """Update contact history and PROPHET state for a gateway uplink."""
+        node.record_contact(center.node_id, now)
+        node.prophet.on_encounter(center.node_id, now)
+
+
+def individual_coverage(sim: "Simulation", photo: Photo) -> CoverageValue:
+    """The stand-alone coverage of one photo against the PoI list.
+
+    Used by utility-ordered baselines (ModifiedSpray) that rank photos by
+    their *individual* coverage, ignoring overlap -- precisely the
+    limitation the paper's scheme addresses.  Memoized on the simulation.
+    """
+    cache = sim.scratch.setdefault("individual_coverage", {})
+    cached = cache.get(photo.photo_id)
+    if cached is not None:
+        return cached
+    point = 0.0
+    aspect = 0.0
+    theta = sim.index.effective_angle
+    for poi_id, direction in sim.index.incidences(photo):
+        poi = sim.index.pois[poi_id]
+        point += poi.weight
+        if direction == direction:  # not NaN
+            aspect += poi.weight * min(2.0 * theta, 6.283185307179586)
+    value = CoverageValue(point, aspect)
+    cache[photo.photo_id] = value
+    return value

@@ -1,0 +1,40 @@
+"""Direct delivery: the zero-cooperation baseline.
+
+Photos stay on the device that took them and are handed over only when
+that device itself reaches the command center.  This is the lower bound
+of the DTN design space -- it isolates how much of every scheme's
+coverage comes from opportunistic peer relaying at all.
+"""
+
+from __future__ import annotations
+
+from ..core.metadata import Photo
+from .base import RoutingScheme
+
+__all__ = ["DirectDeliveryScheme"]
+
+
+class DirectDeliveryScheme(RoutingScheme):
+    """Only source-to-command-center transfers; no peer exchange."""
+
+    name = "direct"
+
+    def on_photo_created(self, node, photo: Photo, now: float) -> None:
+        if node.storage.fits(photo):
+            node.storage.add(photo)
+
+    def on_contact(self, node_a, node_b, now: float, duration: float) -> None:
+        # Still update contact statistics (so PROPHET comparisons across
+        # schemes stay apples-to-apples), but move no data.
+        self.record_encounter(node_a, node_b, now)
+
+    def on_command_center_contact(self, node, center, now: float, duration: float) -> None:
+        self.record_center_encounter(node, center, now)
+        budget = self.sim.byte_budget(duration)
+        used = 0
+        for photo in node.storage.photos():
+            if budget is not None and used + photo.size_bytes > budget:
+                break
+            used += photo.size_bytes
+            self.sim.deliver(photo)
+            node.storage.remove(photo.photo_id)

@@ -1,0 +1,72 @@
+"""ModifiedSpray: Spray-and-Wait with individual-coverage utility ordering.
+
+The paper's stand-in for prior utility-based DTN routing (Section V-B):
+identical to binary Spray-and-Wait except that (a) photos are transmitted
+highest *individual* photo coverage first, and (b) when a receiving node
+is full, the stored photo with the least individual coverage is evicted
+(if the incoming photo beats it).  Crucially the utility of a photo is
+computed in isolation -- overlap between photos is ignored -- which is the
+precise limitation the paper's expected-coverage selection removes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.metadata import Photo
+from .base import individual_coverage
+from .spray_and_wait import SprayAndWaitScheme
+
+__all__ = ["ModifiedSprayScheme"]
+
+
+class ModifiedSprayScheme(SprayAndWaitScheme):
+    """Spray-and-Wait ordered and evicted by stand-alone photo coverage."""
+
+    name = "modified-spray"
+
+    def on_photo_created(self, node: DTNNode, photo: Photo, now: float) -> None:
+        if node.storage.fits(photo):
+            node.storage.add(photo)
+            self._copies(node)[photo.photo_id] = self.initial_copies
+            return
+        if self._evict_for(node, photo):
+            node.storage.add(photo)
+            self._copies(node)[photo.photo_id] = self.initial_copies
+
+    def transmit_order(self, node: DTNNode) -> List[Photo]:
+        """Highest individual coverage first (ties: oldest photo first)."""
+        return sorted(
+            node.storage.photos(),
+            key=lambda p: (individual_coverage(self.sim, p), -p.photo_id),
+            reverse=True,
+        )
+
+    def accept(self, receiver: DTNNode, photo: Photo) -> bool:
+        if receiver.storage.fits(photo):
+            receiver.storage.add(photo)
+            return True
+        if self._evict_for(receiver, photo):
+            receiver.storage.add(photo)
+            return True
+        return False
+
+    def _evict_for(self, node: DTNNode, incoming: Photo) -> bool:
+        """Drop the least-coverage stored photo if *incoming* beats it.
+
+        Repeats until the incoming photo fits or no stored photo has lower
+        coverage (with uniform 4 MB photos a single eviction suffices).
+        """
+        incoming_value = individual_coverage(self.sim, incoming)
+        while not node.storage.fits(incoming):
+            photos = node.storage.photos()
+            if not photos:
+                return False
+            victim = min(
+                photos, key=lambda p: (individual_coverage(self.sim, p), -p.photo_id)
+            )
+            if individual_coverage(self.sim, victim) >= incoming_value:
+                return False
+            node.storage.remove(victim.photo_id)
+            self._copies(node).pop(victim.photo_id, None)
+        return True

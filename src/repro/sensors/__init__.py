@@ -1,0 +1,28 @@
+"""Sensor substrate: the prototype's metadata-acquisition pipeline (IV-A)."""
+
+from .camera import CameraSpec, MetadataAcquisition
+from .gps import GpsSimulator
+from .imu import GEOMAGNETIC_FIELD, GRAVITY, ImuReading, ImuSimulator, rotation_about_z
+from .orientation import (
+    OrientationFilter,
+    attitude_from_accel_mag,
+    camera_azimuth,
+    integrate_gyroscope,
+    orthonormalize,
+)
+
+__all__ = [
+    "CameraSpec",
+    "MetadataAcquisition",
+    "GpsSimulator",
+    "GEOMAGNETIC_FIELD",
+    "GRAVITY",
+    "ImuReading",
+    "ImuSimulator",
+    "rotation_about_z",
+    "OrientationFilter",
+    "attitude_from_accel_mag",
+    "camera_azimuth",
+    "integrate_gyroscope",
+    "orthonormalize",
+]

@@ -1,0 +1,67 @@
+"""Contact traces: model, parsers, synthetic generators, mobility models."""
+
+from .analysis import (
+    ExponentialFit,
+    exponential_fit_report,
+    fit_pair_exponential,
+    intercontact_ccdf,
+    rate_heterogeneity,
+)
+from .churn import ChurnModel, apply_churn
+from .graph import (
+    GATEWAY_STRATEGIES,
+    contact_graph,
+    graph_summary,
+    select_gateways_betweenness,
+    select_gateways_degree,
+    select_gateways_random,
+)
+from .model import ContactRecord, ContactTrace
+from .transforms import bootstrap_trace, subsample_nodes, time_scale
+from .parser import (
+    TraceParseError,
+    load_trace,
+    parse_csv,
+    parse_imote,
+    parse_one_events,
+    write_csv,
+)
+from .synthetic import (
+    SyntheticTraceSpec,
+    cambridge06_like,
+    gateway_uplink_contacts,
+    generate_trace,
+    mit_reality_like,
+)
+
+__all__ = [
+    "ExponentialFit",
+    "exponential_fit_report",
+    "fit_pair_exponential",
+    "intercontact_ccdf",
+    "rate_heterogeneity",
+    "ChurnModel",
+    "apply_churn",
+    "GATEWAY_STRATEGIES",
+    "contact_graph",
+    "graph_summary",
+    "select_gateways_betweenness",
+    "select_gateways_degree",
+    "select_gateways_random",
+    "ContactRecord",
+    "ContactTrace",
+    "bootstrap_trace",
+    "subsample_nodes",
+    "time_scale",
+    "TraceParseError",
+    "load_trace",
+    "parse_csv",
+    "parse_imote",
+    "parse_one_events",
+    "write_csv",
+    "SyntheticTraceSpec",
+    "cambridge06_like",
+    "gateway_uplink_contacts",
+    "generate_trace",
+    "mit_reality_like",
+]

@@ -1,0 +1,91 @@
+"""Participation churn: nodes that switch off and come back.
+
+Real Bluetooth traces (MIT Reality very much included) are full of devices
+that disappear for hours -- batteries die, phones are switched off, people
+leave the area.  The synthetic generators produce always-on nodes; this
+module post-processes a trace with an on/off renewal process per node and
+drops contacts that land in an off period, giving experiments a knob for
+how much intermittent participation hurts each scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .model import ContactRecord, ContactTrace
+
+__all__ = ["ChurnModel", "apply_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnModel:
+    """Exponential on/off renewal process.
+
+    Each node alternates ON periods (mean *mean_on_s*) and OFF periods
+    (mean *mean_off_s*), starting ON with probability
+    ``mean_on / (mean_on + mean_off)`` (the stationary distribution).
+    """
+
+    mean_on_s: float = 8.0 * 3600.0
+    mean_off_s: float = 2.0 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.mean_on_s <= 0.0 or self.mean_off_s <= 0.0:
+            raise ValueError("mean on/off durations must be positive")
+
+    @property
+    def availability(self) -> float:
+        """Stationary fraction of time a node is on."""
+        return self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+
+    def on_intervals(self, horizon_s: float, rng: np.random.Generator) -> List[Tuple[float, float]]:
+        """The ON intervals of one node over ``[0, horizon_s]``."""
+        intervals: List[Tuple[float, float]] = []
+        time = 0.0
+        on = rng.random() < self.availability
+        while time < horizon_s:
+            length = rng.exponential(self.mean_on_s if on else self.mean_off_s)
+            end = min(time + length, horizon_s)
+            if on:
+                intervals.append((time, end))
+            time = end
+            on = not on
+        return intervals
+
+
+def apply_churn(trace: ContactTrace, model: ChurnModel, seed: int = 0) -> ContactTrace:
+    """Drop contacts whose start falls in either endpoint's OFF period.
+
+    Node 0 (the command center) is exempt -- the command center is always
+    listening; gateway availability is governed by the gateway node's own
+    churn.
+    """
+    rng = np.random.default_rng(seed)
+    horizon = trace.end_time
+    schedules: Dict[int, List[Tuple[float, float]]] = {}
+    for node in sorted(trace.node_ids()):
+        if node == 0:
+            continue
+        schedules[node] = model.on_intervals(horizon, rng)
+
+    def is_on(node: int, time: float) -> bool:
+        intervals = schedules.get(node)
+        if intervals is None:
+            return True
+        # Intervals are sorted and disjoint; binary search would be faster
+        # but traces have few enough contacts that a scan is fine.
+        for start, end in intervals:
+            if start <= time <= end:
+                return True
+            if start > time:
+                break
+        return False
+
+    kept: List[ContactRecord] = []
+    for contact in trace:
+        if is_on(contact.node_a, contact.start) and is_on(contact.node_b, contact.start):
+            kept.append(contact)
+    return ContactTrace(kept, name=f"{trace.name}:churn")

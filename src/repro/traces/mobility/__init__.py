@@ -1,0 +1,7 @@
+"""Mobility models and contact extraction (grounding for Section III-B)."""
+
+from .base import MobilityModel, extract_contacts
+from .brownian import BrownianMotion
+from .random_waypoint import RandomWaypoint
+
+__all__ = ["MobilityModel", "extract_contacts", "BrownianMotion", "RandomWaypoint"]

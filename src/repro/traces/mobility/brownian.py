@@ -1,0 +1,64 @@
+"""Reflected Brownian motion mobility.
+
+Each node performs a two-dimensional random walk with reflecting region
+boundaries -- the second canonical model the paper cites for exponentially
+decaying inter-contact times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import MobilityModel
+
+__all__ = ["BrownianMotion"]
+
+
+class BrownianMotion(MobilityModel):
+    """Reflected Brownian motion with diffusion coefficient *sigma*.
+
+    Displacement over ``dt`` seconds is Gaussian with standard deviation
+    ``sigma * sqrt(dt)`` per axis; positions reflect off the region
+    boundary so the stationary distribution stays uniform.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        width: float,
+        height: float,
+        sigma: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_nodes, width, height)
+        if sigma <= 0.0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.sigma = sigma
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._positions: Optional[np.ndarray] = None
+
+    def reset(self) -> np.ndarray:
+        self._rng = np.random.default_rng(self._seed)
+        xs = self._rng.uniform(0.0, self.width, self.num_nodes)
+        ys = self._rng.uniform(0.0, self.height, self.num_nodes)
+        self._positions = np.column_stack([xs, ys])
+        return self._positions.copy()
+
+    def step(self, dt: float) -> np.ndarray:
+        if self._positions is None:
+            self.reset()
+        scale = self.sigma * np.sqrt(dt)
+        self._positions += self._rng.normal(0.0, scale, self._positions.shape)
+        self._positions[:, 0] = _reflect(self._positions[:, 0], self.width)
+        self._positions[:, 1] = _reflect(self._positions[:, 1], self.height)
+        return self._positions.copy()
+
+
+def _reflect(values: np.ndarray, upper: float) -> np.ndarray:
+    """Reflect coordinates into ``[0, upper]`` (handles multiple bounces)."""
+    period = 2.0 * upper
+    folded = np.mod(values, period)
+    return np.where(folded > upper, period - folded, folded)

@@ -1,0 +1,104 @@
+"""The random waypoint mobility model.
+
+Each node repeatedly picks a uniformly random destination in the region,
+travels toward it in a straight line at a uniformly drawn speed, and may
+pause before picking the next destination.  One of the two canonical
+models the paper cites as yielding exponentially decaying inter-contact
+times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import MobilityModel
+
+__all__ = ["RandomWaypoint"]
+
+
+class RandomWaypoint(MobilityModel):
+    """Random waypoint with uniform speeds and optional pause times.
+
+    Parameters
+    ----------
+    num_nodes, width, height:
+        Population size and region (meters).
+    min_speed, max_speed:
+        Speed range in m/s; speeds are drawn uniformly per leg.
+        ``min_speed`` must be positive to avoid the well-known speed-decay
+        degeneracy of the model.
+    pause_s:
+        Fixed pause at each waypoint (0 disables pausing).
+    seed:
+        Seed for the internal generator; runs are deterministic.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        width: float,
+        height: float,
+        min_speed: float = 0.5,
+        max_speed: float = 1.5,
+        pause_s: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_nodes, width, height)
+        if min_speed <= 0.0 or max_speed < min_speed:
+            raise ValueError(
+                f"need 0 < min_speed <= max_speed, got [{min_speed}, {max_speed}]"
+            )
+        if pause_s < 0.0:
+            raise ValueError(f"pause must be non-negative, got {pause_s}")
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.pause_s = pause_s
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._positions: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+        self._speeds: Optional[np.ndarray] = None
+        self._pause_left: Optional[np.ndarray] = None
+
+    def reset(self) -> np.ndarray:
+        self._rng = np.random.default_rng(self._seed)
+        self._positions = self._random_points(self.num_nodes)
+        self._targets = self._random_points(self.num_nodes)
+        self._speeds = self._rng.uniform(self.min_speed, self.max_speed, self.num_nodes)
+        self._pause_left = np.zeros(self.num_nodes)
+        return self._positions.copy()
+
+    def _random_points(self, count: int) -> np.ndarray:
+        xs = self._rng.uniform(0.0, self.width, count)
+        ys = self._rng.uniform(0.0, self.height, count)
+        return np.column_stack([xs, ys])
+
+    def step(self, dt: float) -> np.ndarray:
+        if self._positions is None:
+            self.reset()
+        remaining = np.full(self.num_nodes, float(dt))
+        # Advance each node, possibly through several legs within one step.
+        for node in range(self.num_nodes):
+            budget = remaining[node]
+            while budget > 1e-9:
+                if self._pause_left[node] > 0.0:
+                    wait = min(self._pause_left[node], budget)
+                    self._pause_left[node] -= wait
+                    budget -= wait
+                    continue
+                to_target = self._targets[node] - self._positions[node]
+                dist = float(np.linalg.norm(to_target))
+                speed = self._speeds[node]
+                if dist <= speed * budget:
+                    # Reach the waypoint within this step.
+                    self._positions[node] = self._targets[node]
+                    budget -= dist / speed if speed > 0.0 else budget
+                    self._targets[node] = self._random_points(1)[0]
+                    self._speeds[node] = self._rng.uniform(self.min_speed, self.max_speed)
+                    self._pause_left[node] = self.pause_s
+                else:
+                    self._positions[node] += to_target / dist * speed * budget
+                    budget = 0.0
+        return self._positions.copy()

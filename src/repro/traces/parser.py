@@ -1,0 +1,194 @@
+"""Contact-trace file parsers and writers.
+
+Users who have the real MIT Reality or Cambridge06 (CRAWDAD) datasets can
+load them through these parsers instead of the synthetic generators.
+Three on-disk formats are supported:
+
+* **CSV** -- ``start,node_a,node_b,duration`` with an optional header row
+  (the library's native interchange format, see :func:`write_csv`);
+* **ONE** -- the ONE simulator's connectivity events:
+  ``<time> CONN <a> <b> up|down`` (durations reconstructed from up/down
+  pairs; a dangling ``up`` closes at the last event time);
+* **imote** -- CRAWDAD Bluetooth-sighting style rows:
+  ``<a> <b> <start> <end>`` in seconds.
+
+All parsers return :class:`~repro.traces.model.ContactTrace` and raise
+:class:`TraceParseError` with a line number on malformed input.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, TextIO, Tuple, Union
+
+from .model import ContactRecord, ContactTrace
+
+__all__ = [
+    "TraceParseError",
+    "parse_csv",
+    "parse_one_events",
+    "parse_imote",
+    "load_trace",
+    "write_csv",
+]
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+class TraceParseError(ValueError):
+    """Malformed trace input, annotated with the offending line number."""
+
+    def __init__(self, message: str, line_number: int) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _open_text(source: PathOrFile):
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def parse_csv(source: PathOrFile, name: str = "csv-trace") -> ContactTrace:
+    """Parse the native ``start,node_a,node_b,duration`` CSV format."""
+    handle, should_close = _open_text(source)
+    try:
+        reader = csv.reader(handle)
+        contacts: List[ContactRecord] = []
+        for line_number, row in enumerate(reader, start=1):
+            if not row or row[0].strip().startswith("#"):
+                continue
+            if line_number == 1 and not _is_float(row[0]):
+                continue  # header row
+            if len(row) < 4:
+                raise TraceParseError(f"expected 4 columns, got {len(row)}", line_number)
+            try:
+                start = float(row[0])
+                node_a = int(row[1])
+                node_b = int(row[2])
+                duration = float(row[3])
+            except ValueError as error:
+                raise TraceParseError(str(error), line_number) from error
+            try:
+                contacts.append(ContactRecord(start, node_a, node_b, duration))
+            except ValueError as error:
+                raise TraceParseError(str(error), line_number) from error
+        return ContactTrace(contacts, name=name)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def parse_one_events(source: PathOrFile, name: str = "one-trace") -> ContactTrace:
+    """Parse ONE-simulator connectivity events (``t CONN a b up|down``)."""
+    handle, should_close = _open_text(source)
+    try:
+        open_contacts: Dict[Tuple[int, int], float] = {}
+        contacts: List[ContactRecord] = []
+        last_time = 0.0
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            fields = stripped.split()
+            if len(fields) < 5 or fields[1].upper() != "CONN":
+                raise TraceParseError(f"expected '<t> CONN <a> <b> up|down', got {stripped!r}",
+                                      line_number)
+            try:
+                time = float(fields[0])
+                node_a = int(fields[2])
+                node_b = int(fields[3])
+            except ValueError as error:
+                raise TraceParseError(str(error), line_number) from error
+            state = fields[4].lower()
+            pair = (min(node_a, node_b), max(node_a, node_b))
+            last_time = max(last_time, time)
+            if state == "up":
+                if pair in open_contacts:
+                    raise TraceParseError(f"pair {pair} already up", line_number)
+                open_contacts[pair] = time
+            elif state == "down":
+                started = open_contacts.pop(pair, None)
+                if started is None:
+                    raise TraceParseError(f"down without up for pair {pair}", line_number)
+                contacts.append(ContactRecord(started, pair[0], pair[1], time - started))
+            else:
+                raise TraceParseError(f"unknown state {state!r}", line_number)
+        # Close dangling contacts at the last observed event time.
+        for pair, started in open_contacts.items():
+            contacts.append(ContactRecord(started, pair[0], pair[1], last_time - started))
+        return ContactTrace(contacts, name=name)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def parse_imote(source: PathOrFile, name: str = "imote-trace") -> ContactTrace:
+    """Parse CRAWDAD iMote-style rows (``a b start end``, whitespace-split)."""
+    handle, should_close = _open_text(source)
+    try:
+        contacts: List[ContactRecord] = []
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            fields = stripped.split()
+            if len(fields) < 4:
+                raise TraceParseError(f"expected 4 fields, got {len(fields)}", line_number)
+            try:
+                node_a = int(fields[0])
+                node_b = int(fields[1])
+                start = float(fields[2])
+                end = float(fields[3])
+            except ValueError as error:
+                raise TraceParseError(str(error), line_number) from error
+            if end < start:
+                raise TraceParseError(f"contact ends ({end}) before it starts ({start})",
+                                      line_number)
+            contacts.append(ContactRecord(start, node_a, node_b, end - start))
+        return ContactTrace(contacts, name=name)
+    finally:
+        if should_close:
+            handle.close()
+
+
+_PARSERS = {
+    "csv": parse_csv,
+    "one": parse_one_events,
+    "imote": parse_imote,
+}
+
+
+def load_trace(path: Union[str, Path], fmt: str = "csv", name: str = None) -> ContactTrace:
+    """Load a trace file in the named format (``csv``, ``one``, ``imote``)."""
+    parser = _PARSERS.get(fmt)
+    if parser is None:
+        raise ValueError(f"unknown trace format {fmt!r}; expected one of {sorted(_PARSERS)}")
+    return parser(path, name=name or Path(path).stem)
+
+
+def write_csv(trace: ContactTrace, destination: PathOrFile) -> None:
+    """Write *trace* in the native CSV format (with header)."""
+    handle, should_close = (
+        (open(destination, "w", encoding="utf-8", newline=""), True)
+        if isinstance(destination, (str, Path))
+        else (destination, False)
+    )
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(["start", "node_a", "node_b", "duration"])
+        for contact in trace:
+            writer.writerow([contact.start, contact.node_a, contact.node_b, contact.duration])
+    finally:
+        if should_close:
+            handle.close()
+
+
+def _is_float(value: str) -> bool:
+    try:
+        float(value)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,121 @@
+"""Trace transforms: bootstrap resampling, node subsampling, time scaling.
+
+Real deployments usually have exactly one trace; these transforms let
+experiments quantify uncertainty and scaling effects anyway:
+
+* :func:`bootstrap_trace` -- moving-block bootstrap over time blocks:
+  resample whole blocks (e.g. days) with replacement and re-concatenate.
+  Preserves within-block contact structure (diurnal rhythms, bursts) while
+  producing trace replicates for confidence intervals.
+* :func:`subsample_nodes` -- keep a random subset of participants (what if
+  only half the population had joined?).
+* :func:`time_scale` -- stretch or compress the whole timeline (a crude
+  densification knob: compressing by 2 doubles the contact rate).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from .model import ContactRecord, ContactTrace
+
+__all__ = ["bootstrap_trace", "subsample_nodes", "time_scale"]
+
+
+def bootstrap_trace(
+    trace: ContactTrace,
+    block_s: float = 24.0 * 3600.0,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ContactTrace:
+    """Moving-block bootstrap: resample time blocks with replacement.
+
+    The trace's span is divided into ``ceil(span / block_s)`` consecutive
+    blocks; the replicate draws that many block indices with replacement
+    and re-times each drawn block's contacts into consecutive slots.
+    Contacts are assigned to blocks by their start time; durations are
+    kept (they may spill past a block boundary, as real contacts do).
+    """
+    if block_s <= 0.0:
+        raise ValueError(f"block size must be positive, got {block_s}")
+    if len(trace) == 0:
+        return ContactTrace([], name=name or f"{trace.name}:bootstrap")
+    rng = np.random.default_rng(seed)
+    origin = trace.start_time
+    span = trace.end_time - origin
+    num_blocks = max(1, math.ceil(span / block_s))
+
+    blocks: List[List[ContactRecord]] = [[] for _ in range(num_blocks)]
+    for contact in trace:
+        index = min(num_blocks - 1, int((contact.start - origin) / block_s))
+        blocks[index].append(contact)
+
+    resampled: List[ContactRecord] = []
+    for slot, block_index in enumerate(rng.integers(0, num_blocks, size=num_blocks)):
+        slot_start = slot * block_s
+        block_origin = origin + block_index * block_s
+        for contact in blocks[int(block_index)]:
+            resampled.append(
+                ContactRecord(
+                    slot_start + (contact.start - block_origin),
+                    contact.node_a,
+                    contact.node_b,
+                    contact.duration,
+                )
+            )
+    return ContactTrace(resampled, name=name or f"{trace.name}:bootstrap")
+
+
+def subsample_nodes(
+    trace: ContactTrace,
+    fraction: float,
+    seed: int = 0,
+    always_keep: Optional[List[int]] = None,
+    name: Optional[str] = None,
+) -> ContactTrace:
+    """Keep a uniformly random *fraction* of the participants.
+
+    *always_keep* pins nodes that must survive (gateways, the command
+    center).  Contacts with a removed endpoint disappear.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    pinned = set(always_keep or ())
+    candidates = sorted(trace.node_ids() - pinned)
+    keep_count = max(0, round(fraction * len(candidates)))
+    kept = pinned | {
+        candidates[i] for i in rng.choice(len(candidates), size=keep_count, replace=False)
+    } if candidates else set(pinned)
+    return trace.restricted_to(kept, name=name or f"{trace.name}:subsample")
+
+
+def time_scale(
+    trace: ContactTrace,
+    factor: float,
+    scale_durations: bool = False,
+    name: Optional[str] = None,
+) -> ContactTrace:
+    """Multiply all start times by *factor* (< 1 compresses = densifies).
+
+    Contact durations stay physical by default (a Bluetooth contact does
+    not get shorter because the diary is compressed); pass
+    ``scale_durations=True`` to scale them too.
+    """
+    if factor <= 0.0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    return ContactTrace(
+        (
+            ContactRecord(
+                contact.start * factor,
+                contact.node_a,
+                contact.node_b,
+                contact.duration * factor if scale_durations else contact.duration,
+            )
+            for contact in trace
+        ),
+        name=name or f"{trace.name}:x{factor:g}",
+    )

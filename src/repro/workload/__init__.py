@@ -1,0 +1,14 @@
+"""Workload generation: photos and PoIs per Table I."""
+
+from .photos import PhotoArrival, PhotoGenerator, PhotoGeneratorSpec, generate_photo_schedule
+from .pois import clustered_pois, random_pois, ring_viewpoints
+
+__all__ = [
+    "PhotoArrival",
+    "PhotoGenerator",
+    "PhotoGeneratorSpec",
+    "generate_photo_schedule",
+    "clustered_pois",
+    "random_pois",
+    "ring_viewpoints",
+]

@@ -1,0 +1,39 @@
+"""Shared pytest fixtures for the test suite (builders in helpers)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.coverage_index import CoverageIndex
+from repro.core.geometry import Point
+from repro.core.poi import PoI, PoIList
+
+from helpers import MB, make_photo, photo_at_aspect  # noqa: F401 (re-export)
+
+
+@pytest.fixture
+def single_poi() -> PoIList:
+    return PoIList([PoI(location=Point(0.0, 0.0))])
+
+
+@pytest.fixture
+def single_poi_index(single_poi) -> CoverageIndex:
+    return CoverageIndex(single_poi, effective_angle=math.radians(30.0))
+
+
+@pytest.fixture
+def three_pois() -> PoIList:
+    return PoIList(
+        [
+            PoI(location=Point(0.0, 0.0)),
+            PoI(location=Point(500.0, 0.0)),
+            PoI(location=Point(0.0, 500.0)),
+        ]
+    )
+
+
+@pytest.fixture
+def three_poi_index(three_pois) -> CoverageIndex:
+    return CoverageIndex(three_pois, effective_angle=math.radians(30.0))

@@ -1,0 +1,89 @@
+"""Shared builders for the test suite (fixtures live in conftest)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.coverage_index import CoverageIndex
+from repro.core.geometry import Point
+from repro.core.metadata import Photo, PhotoMetadata
+from repro.core.poi import PoI, PoIList
+
+MB = 1024 * 1024
+
+
+def make_photo(
+    x: float,
+    y: float,
+    orientation_deg: float,
+    fov_deg: float = 60.0,
+    coverage_range: float = 100.0,
+    size_bytes: int = 4 * MB,
+    taken_at: float = 0.0,
+    owner_id: int = None,
+) -> Photo:
+    """A photo at (x, y) pointing *orientation_deg* clockwise from east."""
+    return Photo(
+        metadata=PhotoMetadata(
+            location=Point(x, y),
+            coverage_range=coverage_range,
+            field_of_view=math.radians(fov_deg),
+            orientation=math.radians(orientation_deg),
+        ),
+        size_bytes=size_bytes,
+        taken_at=taken_at,
+        owner_id=owner_id,
+    )
+
+
+def photo_at_aspect(
+    poi: Point,
+    aspect_deg: float,
+    distance: float = 50.0,
+    fov_deg: float = 60.0,
+    coverage_range: float = 100.0,
+    size_bytes: int = 4 * MB,
+) -> Photo:
+    """A photo viewing *poi* from the given aspect (degrees, clockwise from
+    east): the camera stands on that side of the PoI and faces it."""
+    aspect = math.radians(aspect_deg)
+    # Aspect angles are clockwise-from-east; planar y runs the other way.
+    camera = Point(poi.x + distance * math.cos(aspect), poi.y - distance * math.sin(aspect))
+    orientation = camera.bearing_to(poi)
+    return Photo(
+        metadata=PhotoMetadata(
+            location=camera,
+            coverage_range=coverage_range,
+            field_of_view=math.radians(fov_deg),
+            orientation=orientation,
+        ),
+        size_bytes=size_bytes,
+    )
+
+
+@pytest.fixture
+def single_poi() -> PoIList:
+    return PoIList([PoI(location=Point(0.0, 0.0))])
+
+
+@pytest.fixture
+def single_poi_index(single_poi) -> CoverageIndex:
+    return CoverageIndex(single_poi, effective_angle=math.radians(30.0))
+
+
+@pytest.fixture
+def three_pois() -> PoIList:
+    return PoIList(
+        [
+            PoI(location=Point(0.0, 0.0)),
+            PoI(location=Point(500.0, 0.0)),
+            PoI(location=Point(0.0, 500.0)),
+        ]
+    )
+
+
+@pytest.fixture
+def three_poi_index(three_pois) -> CoverageIndex:
+    return CoverageIndex(three_pois, effective_angle=math.radians(30.0))

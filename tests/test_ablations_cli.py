@@ -1,0 +1,145 @@
+"""Tests for the ablation studies and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.expected_coverage import (
+    build_node_profile,
+    expected_coverage,
+    expected_coverage_sampled,
+)
+from repro.core.coverage_index import CoverageIndex
+from repro.core.geometry import Point
+from repro.core.poi import PoIList
+from repro.experiments import ablations
+
+from helpers import photo_at_aspect
+
+SCALE = 0.08
+
+
+class TestExpectedCoverageSampled:
+    def test_matches_exact_within_noise(self):
+        pois = PoIList.from_points([Point(0.0, 0.0), Point(400.0, 0.0)])
+        index = CoverageIndex(pois)
+        profiles = [
+            build_node_profile(index, 1, [photo_at_aspect(Point(0, 0), 0.0)], 0.5),
+            build_node_profile(index, 2, [photo_at_aspect(Point(0, 0), 120.0)], 0.7),
+            build_node_profile(index, 3, [photo_at_aspect(Point(400, 0), 45.0)], 0.3),
+        ]
+        exact = expected_coverage(index, profiles)
+        sampled = expected_coverage_sampled(index, profiles, samples=4000, seed=0)
+        assert sampled.point == pytest.approx(exact.point, rel=0.1)
+        assert sampled.aspect == pytest.approx(exact.aspect, rel=0.1)
+
+    def test_certain_only_is_exact(self):
+        pois = PoIList.from_points([Point(0.0, 0.0)])
+        index = CoverageIndex(pois)
+        profiles = [build_node_profile(index, 0, [photo_at_aspect(Point(0, 0), 0.0)], 1.0)]
+        sampled = expected_coverage_sampled(index, profiles, samples=1, seed=0)
+        assert sampled.isclose(expected_coverage(index, profiles))
+
+    def test_validation(self):
+        pois = PoIList.from_points([Point(0.0, 0.0)])
+        index = CoverageIndex(pois)
+        with pytest.raises(ValueError):
+            expected_coverage_sampled(index, [], samples=0)
+
+    def test_deterministic_for_seed(self):
+        pois = PoIList.from_points([Point(0.0, 0.0)])
+        index = CoverageIndex(pois)
+        profiles = [
+            build_node_profile(index, 1, [photo_at_aspect(Point(0, 0), 0.0)], 0.5)
+        ]
+        a = expected_coverage_sampled(index, profiles, samples=100, seed=7)
+        b = expected_coverage_sampled(index, profiles, samples=100, seed=7)
+        assert a == b
+
+
+class TestAblations:
+    def test_validity_threshold_sweep_shape(self):
+        results = ablations.sweep_validity_threshold(
+            thresholds=(0.2, 0.8), scale=SCALE, num_runs=1
+        )
+        assert set(results) == {"P_thld=0.2", "P_thld=0.8"}
+        for result in results.values():
+            assert 0.0 <= result.point_coverage <= 1.0
+
+    def test_effective_angle_sweep_shape(self):
+        results = ablations.sweep_effective_angle(
+            angles_deg=(30.0, 60.0), scale=SCALE, num_runs=1
+        )
+        assert set(results) == {"theta=30deg", "theta=60deg"}
+
+    def test_probability_floor_sweep_shape(self):
+        results = ablations.sweep_probability_floor(
+            floors=(0.0, 0.02), scale=SCALE, num_runs=1
+        )
+        assert set(results) == {"floor=0.0", "floor=0.02"}
+
+    def test_gateway_strategies(self):
+        results = ablations.compare_gateway_strategies(
+            strategies=("random", "degree"), scale=SCALE, num_runs=1
+        )
+        assert set(results) == {"random", "degree"}
+
+    def test_estimator_comparison(self):
+        outcome = ablations.compare_expected_coverage_estimators(
+            num_nodes=6, photos_per_node=8, samples=200, seed=0
+        )
+        exact_point, exact_aspect, _ = outcome["exact-sweep"]
+        sampled_point, sampled_aspect, _ = outcome["monte-carlo-200"]
+        assert sampled_point == pytest.approx(exact_point, rel=0.15)
+        assert sampled_aspect == pytest.approx(exact_aspect, rel=0.15)
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig5", "--scale", "0.1", "--runs", "2"])
+        assert args.command == "fig5"
+        assert args.scale == 0.1
+        assert args.runs == 2
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "ablation" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "our-scheme" in out
+
+    def test_fig5_command_small(self, capsys):
+        assert main(["fig5", "--scale", str(SCALE), "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 5(a)" in out
+        assert "spray-and-wait" in out
+
+    def test_fig7_command_small(self, capsys):
+        assert main(["fig7", "--scale", str(SCALE), "--trace", "cambridge"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 7(d)" in out
+
+    def test_trace_stats_command(self, capsys):
+        assert main(["trace-stats", "--scale", "0.1", "--trace", "mit"]) == 0
+        out = capsys.readouterr().out
+        assert "contact graph" in out
+        assert "heterogeneity" in out
+
+    def test_ablation_estimators_command(self, capsys):
+        assert main(["ablation", "estimators"]) == 0
+        out = capsys.readouterr().out
+        assert "exact-sweep" in out
+
+    def test_ablation_floor_command(self, capsys):
+        assert main(["ablation", "floor", "--scale", str(SCALE)]) == 0
+        out = capsys.readouterr().out
+        assert "floor=" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

@@ -1,0 +1,187 @@
+"""Tests for the coverage model: point, aspect, lexicographic photo coverage."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.angular import ArcSet, AngularInterval
+from repro.core.coverage import (
+    CoverageValue,
+    aspect_coverage,
+    collection_coverage,
+    photo_coverage,
+    point_coverage,
+)
+from repro.core.geometry import Point
+from repro.core.poi import PoI, PoIList
+
+from helpers import make_photo, photo_at_aspect
+
+THETA = math.radians(30.0)
+
+
+class TestCoverageValue:
+    def test_lexicographic_point_dominates(self):
+        assert CoverageValue(2.0, 0.0) > CoverageValue(1.0, 100.0)
+
+    def test_lexicographic_aspect_breaks_ties(self):
+        assert CoverageValue(1.0, 2.0) > CoverageValue(1.0, 1.0)
+
+    def test_equality(self):
+        assert CoverageValue(1.0, 2.0) == CoverageValue(1.0, 2.0)
+
+    def test_addition_componentwise(self):
+        total = CoverageValue(1.0, 2.0) + CoverageValue(3.0, 4.0)
+        assert total == CoverageValue(4.0, 6.0)
+
+    def test_subtraction(self):
+        assert CoverageValue(3.0, 4.0) - CoverageValue(1.0, 1.0) == CoverageValue(2.0, 3.0)
+
+    def test_scaled(self):
+        assert CoverageValue(2.0, 4.0).scaled(0.5) == CoverageValue(1.0, 2.0)
+
+    def test_is_positive(self):
+        assert CoverageValue(0.0, 0.1).is_positive()
+        assert CoverageValue(0.1, -5.0).is_positive()  # point dominates
+        assert not CoverageValue(0.0, 0.0).is_positive()
+        assert not CoverageValue(0.0, -1.0).is_positive()
+
+    def test_zero_constant(self):
+        assert CoverageValue.ZERO == CoverageValue(0.0, 0.0)
+
+    def test_aspect_degrees(self):
+        assert CoverageValue(0.0, math.pi).aspect_degrees == pytest.approx(180.0)
+
+    def test_isclose(self):
+        assert CoverageValue(1.0, 2.0).isclose(CoverageValue(1.0, 2.0 + 1e-12))
+        assert not CoverageValue(1.0, 2.0).isclose(CoverageValue(1.0, 2.1))
+
+    @given(
+        st.floats(-10, 10), st.floats(-10, 10), st.floats(-10, 10), st.floats(-10, 10)
+    )
+    def test_order_matches_tuple_order(self, p1, a1, p2, a2):
+        lhs, rhs = CoverageValue(p1, a1), CoverageValue(p2, a2)
+        assert (lhs < rhs) == ((p1, a1) < (p2, a2))
+
+
+class TestPointCoverage:
+    def test_covered(self):
+        poi = PoI(location=Point(50.0, 0.0), poi_id=0)
+        photo = make_photo(0, 0, 0, coverage_range=100.0)
+        assert point_coverage(poi, [photo]) == 1.0
+
+    def test_uncovered(self):
+        poi = PoI(location=Point(-50.0, 0.0), poi_id=0)
+        photo = make_photo(0, 0, 0, coverage_range=100.0)
+        assert point_coverage(poi, [photo]) == 0.0
+
+    def test_weighted(self):
+        poi = PoI(location=Point(50.0, 0.0), weight=3.0, poi_id=0)
+        photo = make_photo(0, 0, 0, coverage_range=100.0)
+        assert point_coverage(poi, [photo]) == 3.0
+
+    def test_empty_collection(self):
+        poi = PoI(location=Point(0.0, 0.0), poi_id=0)
+        assert point_coverage(poi, []) == 0.0
+
+    def test_any_photo_suffices(self):
+        poi = PoI(location=Point(50.0, 0.0), poi_id=0)
+        miss = make_photo(0, 0, 180.0)
+        hit = make_photo(0, 0, 0, coverage_range=100.0)
+        assert point_coverage(poi, [miss, hit]) == 1.0
+
+
+class TestAspectCoverage:
+    def test_single_photo_covers_two_theta(self):
+        poi = PoI(location=Point(0.0, 0.0), poi_id=0)
+        photo = photo_at_aspect(poi.location, aspect_deg=0.0)
+        assert aspect_coverage(poi, [photo], THETA) == pytest.approx(2 * THETA)
+
+    def test_identical_photos_do_not_add(self):
+        poi = PoI(location=Point(0.0, 0.0), poi_id=0)
+        a = photo_at_aspect(poi.location, aspect_deg=0.0)
+        b = photo_at_aspect(poi.location, aspect_deg=0.0)
+        assert aspect_coverage(poi, [a, b], THETA) == pytest.approx(2 * THETA)
+
+    def test_opposite_photos_add_fully(self):
+        poi = PoI(location=Point(0.0, 0.0), poi_id=0)
+        a = photo_at_aspect(poi.location, aspect_deg=0.0)
+        b = photo_at_aspect(poi.location, aspect_deg=180.0)
+        assert aspect_coverage(poi, [a, b], THETA) == pytest.approx(4 * THETA)
+
+    def test_partial_overlap(self):
+        poi = PoI(location=Point(0.0, 0.0), poi_id=0)
+        a = photo_at_aspect(poi.location, aspect_deg=0.0)
+        b = photo_at_aspect(poi.location, aspect_deg=30.0)  # half-overlapping arcs
+        expected = 2 * THETA + math.radians(30.0)
+        assert aspect_coverage(poi, [a, b], THETA) == pytest.approx(expected)
+
+    def test_noncovering_photo_contributes_nothing(self):
+        poi = PoI(location=Point(0.0, 0.0), poi_id=0)
+        photo = make_photo(500.0, 500.0, 0.0, coverage_range=50.0)
+        assert aspect_coverage(poi, [photo], THETA) == 0.0
+
+    def test_weight_scales_aspect(self):
+        poi = PoI(location=Point(0.0, 0.0), weight=2.0, poi_id=0)
+        photo = photo_at_aspect(poi.location, aspect_deg=0.0)
+        assert aspect_coverage(poi, [photo], THETA) == pytest.approx(4 * THETA)
+
+    def test_important_aspects_restrict(self):
+        # Only aspects in [0, 30 deg] matter; a photo viewed from the east
+        # (aspect 0) covers [-30, +30] -> restricted measure is 30 deg.
+        restriction = ArcSet([AngularInterval(0.0, math.radians(30.0))])
+        poi = PoI(location=Point(0.0, 0.0), important_aspects=restriction, poi_id=0)
+        photo = photo_at_aspect(poi.location, aspect_deg=0.0)
+        assert aspect_coverage(poi, [photo], THETA) == pytest.approx(math.radians(30.0))
+
+    def test_full_ring_reaches_two_pi(self):
+        poi = PoI(location=Point(0.0, 0.0), poi_id=0)
+        photos = [photo_at_aspect(poi.location, aspect_deg=d) for d in range(0, 360, 45)]
+        assert aspect_coverage(poi, photos, THETA) == pytest.approx(2 * math.pi)
+
+
+class TestPhotoCoverage:
+    def test_combines_point_and_aspect(self):
+        poi = PoI(location=Point(0.0, 0.0), poi_id=0)
+        photo = photo_at_aspect(poi.location, aspect_deg=90.0)
+        value = photo_coverage(poi, [photo], THETA)
+        assert value.point == 1.0
+        assert value.aspect == pytest.approx(2 * THETA)
+
+    def test_empty(self):
+        poi = PoI(location=Point(0.0, 0.0), poi_id=0)
+        assert photo_coverage(poi, [], THETA) == CoverageValue.ZERO
+
+
+class TestCollectionCoverage:
+    def test_sums_over_pois(self, three_pois):
+        photos = [
+            photo_at_aspect(Point(0.0, 0.0), aspect_deg=0.0),
+            photo_at_aspect(Point(500.0, 0.0), aspect_deg=180.0),
+        ]
+        value = collection_coverage(three_pois, photos, THETA)
+        assert value.point == 2.0
+        assert value.aspect == pytest.approx(4 * THETA)
+
+    def test_empty_photos(self, three_pois):
+        assert collection_coverage(three_pois, [], THETA) == CoverageValue.ZERO
+
+    def test_monotone_in_photos(self, three_pois):
+        first = [photo_at_aspect(Point(0.0, 0.0), aspect_deg=0.0)]
+        second = first + [photo_at_aspect(Point(500.0, 0.0), aspect_deg=90.0)]
+        assert collection_coverage(three_pois, second, THETA) >= collection_coverage(
+            three_pois, first, THETA
+        )
+
+    @given(st.lists(st.integers(0, 359), min_size=0, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_aspect_bounded_by_circle(self, aspects):
+        poi_list = PoIList([PoI(location=Point(0.0, 0.0))])
+        photos = [photo_at_aspect(Point(0.0, 0.0), aspect_deg=float(a)) for a in aspects]
+        value = collection_coverage(poi_list, photos, THETA)
+        assert value.aspect <= 2 * math.pi + 1e-9
+        assert value.point <= 1.0

@@ -1,0 +1,140 @@
+"""Tests for less-traveled code paths across modules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.angular import ArcSet, AngularInterval
+from repro.core.coverage_index import CoverageIndex, PoICoverageState
+from repro.core.geometry import Point
+from repro.core.poi import PoI, PoIList
+from repro.core.selection import StorageSpec, greedy_select
+from repro.routing.base import individual_coverage
+from repro.routing.coverage_scheme import CoverageSelectionScheme, NoMetadataScheme
+
+from helpers import MB, make_photo, photo_at_aspect
+
+THETA = math.radians(30.0)
+PHOTO = 4 * MB
+
+
+class TestGreedySelectWithoutPositiveGainRequirement:
+    def test_fills_storage_with_zero_gain_photos(self):
+        index = CoverageIndex(PoIList.from_points([Point(0.0, 0.0)]), effective_angle=THETA)
+        useful = photo_at_aspect(Point(0.0, 0.0), 0.0)
+        junk = make_photo(9000.0, 9000.0, 0.0)
+        selection = greedy_select(
+            index,
+            [useful, junk],
+            StorageSpec(1, 2 * PHOTO, 0.9),
+            [],
+            require_positive_gain=False,
+        )
+        # Both photos are taken: the useful one first, then the junk filler.
+        assert selection.photos[0] == useful
+        assert junk in selection.photos
+
+    def test_still_respects_capacity(self):
+        index = CoverageIndex(PoIList.from_points([Point(0.0, 0.0)]), effective_angle=THETA)
+        photos = [make_photo(9000.0, float(i), 0.0) for i in range(4)]
+        selection = greedy_select(
+            index, photos, StorageSpec(1, 2 * PHOTO, 0.5), [],
+            require_positive_gain=False,
+        )
+        assert selection.total_bytes <= 2 * PHOTO
+
+
+class TestRestrictedAspectsInIndexState:
+    def restricted_index(self):
+        entrance = ArcSet([AngularInterval.around(0.0, math.radians(45.0))])
+        pois = PoIList([PoI(location=Point(0.0, 0.0), important_aspects=entrance)])
+        return CoverageIndex(pois, effective_angle=THETA)
+
+    def test_gain_respects_restriction_first_photo(self):
+        index = self.restricted_index()
+        state = PoICoverageState(index)
+        east = photo_at_aspect(Point(0.0, 0.0), 0.0)      # arc [-30, 30]: inside
+        back = photo_at_aspect(Point(0.0, 0.0), 180.0)    # arc [150, 210]: outside
+        assert state.gain_of(east).aspect == pytest.approx(2 * THETA)
+        assert state.gain_of(back).aspect == pytest.approx(0.0)
+        # Point coverage is unrestricted: both cover the PoI.
+        assert state.gain_of(back).point == 1.0
+
+    def test_gain_respects_restriction_with_existing_arcs(self):
+        index = self.restricted_index()
+        state = PoICoverageState(index)
+        state.add_photo(photo_at_aspect(Point(0.0, 0.0), 0.0))
+        # A photo at aspect 30: arc [0, 60]; only [0, 45] matters, and
+        # [0, 30] is already covered -> marginal = 15 degrees.
+        probe = photo_at_aspect(Point(0.0, 0.0), 30.0)
+        assert state.gain_of(probe).aspect == pytest.approx(math.radians(15.0), abs=1e-9)
+
+    def test_weighted_and_restricted_combine(self):
+        entrance = ArcSet([AngularInterval.around(0.0, math.radians(45.0))])
+        pois = PoIList(
+            [PoI(location=Point(0.0, 0.0), weight=2.0, important_aspects=entrance)]
+        )
+        index = CoverageIndex(pois, effective_angle=THETA)
+        state = PoICoverageState(index)
+        gain = state.add_photo(photo_at_aspect(Point(0.0, 0.0), 0.0))
+        assert gain.point == 2.0
+        assert gain.aspect == pytest.approx(2.0 * 2 * THETA)
+
+
+class TestIndividualCoverage:
+    class FakeSim:
+        def __init__(self, index):
+            self.index = index
+            self.scratch = {}
+
+        def incidences(self, photo):
+            return self.index.incidences(photo)
+
+    def test_individual_coverage_value(self):
+        index = CoverageIndex(PoIList.from_points([Point(0.0, 0.0)]), effective_angle=THETA)
+        sim = self.FakeSim(index)
+        photo = photo_at_aspect(Point(0.0, 0.0), 0.0)
+        value = individual_coverage(sim, photo)
+        assert value.point == 1.0
+        assert value.aspect == pytest.approx(2 * THETA)
+
+    def test_memoized_in_sim_scratch(self):
+        index = CoverageIndex(PoIList.from_points([Point(0.0, 0.0)]), effective_angle=THETA)
+        sim = self.FakeSim(index)
+        photo = photo_at_aspect(Point(0.0, 0.0), 0.0)
+        first = individual_coverage(sim, photo)
+        assert individual_coverage(sim, photo) is first
+
+    def test_degenerate_camera_on_poi(self):
+        index = CoverageIndex(PoIList.from_points([Point(0.0, 0.0)]), effective_angle=THETA)
+        sim = self.FakeSim(index)
+        photo = make_photo(0.0, 0.0, 0.0)
+        value = individual_coverage(sim, photo)
+        assert value.point == 1.0
+        assert value.aspect == 0.0
+
+
+class TestMiscConstruction:
+    def test_no_metadata_factory(self):
+        scheme = NoMetadataScheme()
+        assert isinstance(scheme, CoverageSelectionScheme)
+        assert scheme.name == "no-metadata"
+        assert not scheme.use_metadata_cache
+
+    def test_scheme_rejects_bad_floor(self):
+        with pytest.raises(ValueError):
+            CoverageSelectionScheme(min_delivery_probability=1.5)
+
+    def test_index_custom_cell_size(self):
+        pois = PoIList.from_points([Point(0.0, 0.0), Point(1000.0, 1000.0)])
+        index = CoverageIndex(pois, effective_angle=THETA, cell_size=50.0)
+        photo = photo_at_aspect(Point(0.0, 0.0), 0.0)
+        assert [poi_id for poi_id, _ in index.incidences(photo)] == [0]
+
+    def test_line_chart_y_label(self):
+        from repro.experiments.asciiplot import line_chart
+
+        chart = line_chart({"a": [1.0, 2.0]}, width=10, height=3, y_label="cov")
+        assert chart.splitlines()[0].strip() == "cov"

@@ -1,0 +1,48 @@
+"""Tests for the one-call full regeneration engine and python -m repro."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.generate_all import generate_all
+
+
+class TestGenerateAll:
+    def test_generates_every_report(self, tmp_path):
+        messages = []
+        reports = generate_all(
+            scale=0.05,
+            num_runs=1,
+            seed=0,
+            output_dir=tmp_path,
+            progress=messages.append,
+        )
+        expected = {
+            "fig3", "fig5", "fig6",
+            "fig7_mit", "fig7_cambridge",
+            "fig8_mit", "fig8_cambridge",
+        }
+        assert set(reports) == expected
+        for name in expected:
+            assert (tmp_path / f"full_{name}.txt").exists()
+            assert reports[name].strip()
+        assert len(messages) == 7
+
+    def test_no_output_dir_is_fine(self):
+        reports = generate_all(scale=0.05, num_runs=1, seed=0)
+        assert "fig5" in reports
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_list(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "fig5" in completed.stdout

@@ -1,0 +1,65 @@
+"""Tests for the latency study and the sensor-pipeline demo variant."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import fig3_demo
+from repro.experiments.latency_study import LatencySummary, latency_report, run_latency_study
+
+SCALE = 0.08
+
+
+class TestLatencyStudy:
+    def test_summaries_shape(self):
+        summaries = run_latency_study(
+            schemes=("our-scheme", "spray-and-wait"), scale=SCALE, num_runs=1
+        )
+        assert set(summaries) == {"our-scheme", "spray-and-wait"}
+        for summary in summaries.values():
+            assert summary.delivered >= 0
+            if summary.delivered > 0:
+                assert summary.p50_h <= summary.p90_h <= summary.max_h + 1e-9
+            else:
+                assert math.isnan(summary.p50_h)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_latency_study(scale=SCALE, num_runs=0)
+        with pytest.raises(KeyError):
+            run_latency_study(schemes=("bogus",), scale=SCALE)
+
+    def test_report_renders(self):
+        summaries = {
+            "x": LatencySummary("x", 10, 1.0, 2.0, 3.0, 0.5),
+        }
+        text = latency_report(summaries)
+        assert "p50 (h)" in text and "x" in text
+
+    def test_cli_latency(self, capsys):
+        assert main(["latency", "--scale", str(SCALE)]) == 0
+        assert "p50 (h)" in capsys.readouterr().out
+
+    def test_cli_dissemination(self, capsys):
+        assert main(["dissemination", "--scale", str(SCALE)]) == 0
+        out = capsys.readouterr().out
+        assert "arrival quantiles" in out
+        assert "cost" in out
+
+
+class TestSensorPipelineDemo:
+    def test_sensor_variant_preserves_demo_shape(self):
+        """The 5-degree / 6.5-m sensor errors must not change the story."""
+        outcomes = fig3_demo.run(seed=0, use_sensor_pipeline=True)
+        ours = outcomes["our-scheme"]
+        spray = outcomes["spray-and-wait"]
+        assert ours.point_covered
+        assert ours.delivered_photos <= spray.delivered_photos
+        assert ours.aspect_coverage_deg >= spray.aspect_coverage_deg - 30.0
+
+    def test_cli_demo_sensors(self, capsys):
+        assert main(["demo", "--seed", "0", "--sensors"]) == 0
+        assert "our-scheme" in capsys.readouterr().out

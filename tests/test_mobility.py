@@ -1,0 +1,186 @@
+"""Tests for the mobility models and contact extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.mobility import BrownianMotion, RandomWaypoint, extract_contacts
+from repro.traces.mobility.base import MobilityModel
+
+
+class TestRandomWaypoint:
+    def model(self, **overrides):
+        defaults = dict(num_nodes=5, width=1000.0, height=800.0, seed=0)
+        defaults.update(overrides)
+        return RandomWaypoint(**defaults)
+
+    def test_reset_within_bounds(self):
+        positions = self.model().reset()
+        assert positions.shape == (5, 2)
+        assert (positions[:, 0] >= 0).all() and (positions[:, 0] <= 1000.0).all()
+        assert (positions[:, 1] >= 0).all() and (positions[:, 1] <= 800.0).all()
+
+    def test_step_stays_within_bounds(self):
+        model = self.model()
+        model.reset()
+        for _ in range(50):
+            positions = model.step(60.0)
+            assert (positions[:, 0] >= -1e-9).all() and (positions[:, 0] <= 1000.0 + 1e-9).all()
+            assert (positions[:, 1] >= -1e-9).all() and (positions[:, 1] <= 800.0 + 1e-9).all()
+
+    def test_speed_bounded(self):
+        model = self.model(min_speed=1.0, max_speed=2.0)
+        previous = model.reset()
+        for _ in range(20):
+            current = model.step(10.0)
+            displacement = np.linalg.norm(current - previous, axis=1)
+            # A node can turn mid-step but never exceeds max_speed * dt.
+            assert (displacement <= 2.0 * 10.0 + 1e-6).all()
+            previous = current
+
+    def test_deterministic_for_seed(self):
+        a, b = self.model(seed=7), self.model(seed=7)
+        a.reset(), b.reset()
+        for _ in range(10):
+            np.testing.assert_allclose(a.step(30.0), b.step(30.0))
+
+    def test_pause_freezes_node(self):
+        model = self.model(num_nodes=1, min_speed=100.0, max_speed=100.0, pause_s=1e9)
+        model.reset()
+        # After reaching the first waypoint the node pauses ~forever.
+        for _ in range(100):
+            model.step(60.0)
+        frozen = model.step(60.0)
+        next_step = model.step(60.0)
+        np.testing.assert_allclose(frozen, next_step)
+
+    def test_rejects_zero_min_speed(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(3, 100.0, 100.0, min_speed=0.0)
+
+    def test_rejects_bad_speed_order(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(3, 100.0, 100.0, min_speed=2.0, max_speed=1.0)
+
+    def test_rejects_negative_pause(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(3, 100.0, 100.0, pause_s=-1.0)
+
+
+class TestBrownianMotion:
+    def test_reflection_keeps_in_bounds(self):
+        model = BrownianMotion(num_nodes=10, width=100.0, height=100.0, sigma=50.0, seed=1)
+        model.reset()
+        for _ in range(100):
+            positions = model.step(10.0)
+            assert (positions >= -1e-9).all()
+            assert (positions[:, 0] <= 100.0 + 1e-9).all()
+            assert (positions[:, 1] <= 100.0 + 1e-9).all()
+
+    def test_deterministic(self):
+        a = BrownianMotion(4, 100.0, 100.0, seed=3)
+        b = BrownianMotion(4, 100.0, 100.0, seed=3)
+        a.reset(), b.reset()
+        np.testing.assert_allclose(a.step(5.0), b.step(5.0))
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            BrownianMotion(3, 100.0, 100.0, sigma=0.0)
+
+    def test_variance_grows_with_dt(self):
+        wide = BrownianMotion(500, 1e9, 1e9, sigma=1.0, seed=0)
+        start = wide.reset().copy()
+        moved = wide.step(100.0)
+        displacement = moved - start
+        # Std per axis should be close to sigma * sqrt(dt) = 10.
+        assert 8.0 < displacement.std() < 12.0
+
+
+class TestModelValidation:
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            BrownianMotion(0, 10.0, 10.0)
+
+    def test_rejects_bad_region(self):
+        with pytest.raises(ValueError):
+            BrownianMotion(3, 0.0, 10.0)
+
+
+class TestExtractContacts:
+    def test_close_nodes_are_in_contact(self):
+        class Static(MobilityModel):
+            def reset(self):
+                return np.array([[0.0, 0.0], [5.0, 0.0], [500.0, 0.0]])
+
+            def step(self, dt):
+                return self.reset()
+
+        model = Static(3, 1000.0, 1000.0)
+        trace = extract_contacts(model, transmission_range=10.0, duration_s=600.0,
+                                 sample_interval_s=60.0)
+        pairs = {c.pair for c in trace}
+        assert pairs == {(1, 2)}
+        # A single continuous contact covering the whole run.
+        assert len(trace) == 1
+        assert trace[0].duration == pytest.approx(600.0)
+
+    def test_contact_opens_and_closes(self):
+        class ApproachAndLeave(MobilityModel):
+            def __init__(self):
+                super().__init__(2, 1000.0, 1000.0)
+                self.t = 0.0
+
+            def reset(self):
+                self.t = 0.0
+                return self._positions()
+
+            def _positions(self):
+                # Node 2 walks past node 1: close only in the middle third.
+                x = abs(self.t - 300.0) / 10.0
+                return np.array([[0.0, 0.0], [x, 0.0]])
+
+            def step(self, dt):
+                self.t += dt
+                return self._positions()
+
+        trace = extract_contacts(
+            ApproachAndLeave(), transmission_range=10.0, duration_s=600.0,
+            sample_interval_s=30.0,
+        )
+        assert len(trace) == 1
+        contact = trace[0]
+        assert 100.0 < contact.start < 300.0
+        assert contact.duration > 60.0
+
+    def test_custom_node_ids(self):
+        class Static(MobilityModel):
+            def reset(self):
+                return np.array([[0.0, 0.0], [1.0, 0.0]])
+
+            def step(self, dt):
+                return self.reset()
+
+        trace = extract_contacts(
+            Static(2, 10.0, 10.0), transmission_range=5.0, duration_s=120.0,
+            sample_interval_s=60.0, node_ids=[10, 20],
+        )
+        assert trace[0].pair == (10, 20)
+
+    def test_validation(self):
+        model = BrownianMotion(2, 10.0, 10.0)
+        with pytest.raises(ValueError):
+            extract_contacts(model, transmission_range=0.0, duration_s=10.0)
+        with pytest.raises(ValueError):
+            extract_contacts(model, transmission_range=1.0, duration_s=10.0,
+                             sample_interval_s=0.0)
+        with pytest.raises(ValueError):
+            extract_contacts(model, transmission_range=1.0, duration_s=10.0, node_ids=[1])
+
+    def test_random_waypoint_end_to_end(self):
+        model = RandomWaypoint(num_nodes=8, width=300.0, height=300.0,
+                               min_speed=1.0, max_speed=2.0, seed=2)
+        trace = extract_contacts(model, transmission_range=50.0, duration_s=3600.0,
+                                 sample_interval_s=60.0)
+        assert len(trace) > 0
+        assert trace.node_ids() <= set(range(1, 9))

@@ -1,0 +1,164 @@
+"""Tests for quality filtering and time-decayed value (Section II-C)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.coverage import CoverageValue
+from repro.core.metadata import Photo
+from repro.core.quality import QualityPolicy, TimeDecay, discounted_value, quality_filter
+
+from helpers import make_photo
+
+
+def photo_with_quality(quality: float, taken_at: float = 0.0) -> Photo:
+    base = make_photo(0, 0, 0, taken_at=taken_at)
+    return Photo(metadata=base.metadata, quality=quality, taken_at=taken_at)
+
+
+class TestQualityFilter:
+    def test_keeps_above_threshold(self):
+        good = photo_with_quality(0.9)
+        bad = photo_with_quality(0.2)
+        assert quality_filter([good, bad], threshold=0.5) == [good]
+
+    def test_threshold_inclusive(self):
+        exact = photo_with_quality(0.5)
+        assert quality_filter([exact], threshold=0.5) == [exact]
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            quality_filter([], threshold=1.5)
+
+    @given(st.lists(st.floats(0.0, 1.0), max_size=20), st.floats(0.0, 1.0))
+    def test_filter_is_monotone(self, qualities, threshold):
+        photos = [photo_with_quality(q) for q in qualities]
+        kept = quality_filter(photos, threshold)
+        assert all(p.quality >= threshold for p in kept)
+        assert len(kept) <= len(photos)
+
+
+class TestTimeDecay:
+    def test_fresh_photo_full_value(self):
+        decay = TimeDecay(tau_s=3600.0)
+        photo = photo_with_quality(1.0, taken_at=100.0)
+        assert decay.factor(photo, now=100.0) == 1.0
+
+    def test_exponential_form(self):
+        decay = TimeDecay(tau_s=3600.0)
+        photo = photo_with_quality(1.0, taken_at=0.0)
+        assert decay.factor(photo, now=3600.0) == pytest.approx(math.exp(-1.0))
+
+    def test_future_clock_clamped(self):
+        decay = TimeDecay(tau_s=100.0)
+        photo = photo_with_quality(1.0, taken_at=500.0)
+        assert decay.factor(photo, now=0.0) == 1.0
+
+    def test_half_life(self):
+        decay = TimeDecay(tau_s=1000.0)
+        photo = photo_with_quality(1.0, taken_at=0.0)
+        assert decay.factor(photo, now=decay.half_life_s()) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_tau(self):
+        with pytest.raises(ValueError):
+            TimeDecay(tau_s=0.0)
+
+
+class TestDiscountedValue:
+    def test_scales_by_quality(self):
+        photo = photo_with_quality(0.5)
+        value = discounted_value(CoverageValue(1.0, 2.0), photo, now=0.0)
+        assert value == CoverageValue(0.5, 1.0)
+
+    def test_combines_quality_and_decay(self):
+        photo = photo_with_quality(0.5, taken_at=0.0)
+        decay = TimeDecay(tau_s=100.0)
+        value = discounted_value(CoverageValue(1.0, 0.0), photo, now=100.0, decay=decay)
+        assert value.point == pytest.approx(0.5 * math.exp(-1.0))
+
+    def test_order_preserved_under_common_discount(self):
+        photo = photo_with_quality(0.7)
+        high = CoverageValue(2.0, 1.0)
+        low = CoverageValue(1.0, 5.0)
+        assert discounted_value(high, photo, 0.0) > discounted_value(low, photo, 0.0)
+
+
+class TestQualityPolicy:
+    def test_admits_by_quality(self):
+        policy = QualityPolicy(min_quality=0.5)
+        assert policy.admits(photo_with_quality(0.8), now=0.0)
+        assert not policy.admits(photo_with_quality(0.3), now=0.0)
+
+    def test_admits_by_age(self):
+        policy = QualityPolicy(max_age_s=100.0)
+        old = photo_with_quality(1.0, taken_at=0.0)
+        assert policy.admits(old, now=50.0)
+        assert not policy.admits(old, now=200.0)
+
+    def test_filter_generator(self):
+        policy = QualityPolicy(min_quality=0.5)
+        photos = [photo_with_quality(q) for q in (0.2, 0.6, 0.9)]
+        kept = list(policy.filter(photos, now=0.0))
+        assert [p.quality for p in kept] == [0.6, 0.9]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QualityPolicy(min_quality=2.0)
+        with pytest.raises(ValueError):
+            QualityPolicy(max_age_s=-1.0)
+
+    def test_permissive_default(self):
+        policy = QualityPolicy()
+        assert policy.admits(photo_with_quality(0.0), now=1e9)
+
+
+class TestQualityIntegration:
+    def test_generator_draws_quality_in_range(self):
+        from repro.workload.photos import PhotoGenerator, PhotoGeneratorSpec
+
+        generator = PhotoGenerator(PhotoGeneratorSpec(quality_range=(0.3, 0.8)), seed=0)
+        for _ in range(100):
+            photo = generator.next_photo()
+            assert 0.3 <= photo.quality <= 0.8
+
+    def test_generator_default_quality_is_one(self):
+        from repro.workload.photos import PhotoGenerator
+
+        assert PhotoGenerator(seed=0).next_photo().quality == 1.0
+
+    def test_generator_rejects_bad_quality_range(self):
+        from repro.workload.photos import PhotoGeneratorSpec
+
+        with pytest.raises(ValueError):
+            PhotoGeneratorSpec(quality_range=(0.8, 0.3))
+        with pytest.raises(ValueError):
+            PhotoGeneratorSpec(quality_range=(0.0, 1.5))
+
+    def test_scheme_rejects_low_quality_photos(self):
+        from repro.core.geometry import Point
+        from repro.core.metadata import Photo
+        from repro.core.poi import PoI, PoIList
+        from repro.dtn.simulator import Simulation, SimulationConfig
+        from repro.routing.coverage_scheme import CoverageSelectionScheme
+        from repro.traces.model import ContactTrace
+        from repro.workload.photos import PhotoArrival
+        from helpers import photo_at_aspect
+
+        base = photo_at_aspect(Point(0.0, 0.0), aspect_deg=0.0)
+        blurry = Photo(metadata=base.metadata, quality=0.1)
+        sharp = Photo(metadata=base.metadata, quality=0.9)
+        scheme = CoverageSelectionScheme(quality_policy=QualityPolicy(min_quality=0.5))
+        sim = Simulation(
+            trace=ContactTrace([]),
+            pois=PoIList([PoI(location=Point(0.0, 0.0))]),
+            photo_arrivals=[PhotoArrival(0.0, 1, blurry), PhotoArrival(1.0, 1, sharp)],
+            scheme=scheme,
+            config=SimulationConfig(sample_interval_s=10.0),
+            end_time_s=20.0,
+        )
+        sim.run()
+        assert sim.nodes[1].storage.photo_ids() == [sharp.photo_id]

@@ -1,0 +1,133 @@
+"""Tests for the trace file parsers and the CSV writer."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.traces.model import ContactRecord, ContactTrace
+from repro.traces.parser import (
+    TraceParseError,
+    load_trace,
+    parse_csv,
+    parse_imote,
+    parse_one_events,
+    write_csv,
+)
+
+
+class TestParseCsv:
+    def test_basic(self):
+        source = io.StringIO("start,node_a,node_b,duration\n0.0,1,2,60\n100,2,3,30\n")
+        trace = parse_csv(source)
+        assert len(trace) == 2
+        assert trace[0] == ContactRecord(0.0, 1, 2, 60.0)
+
+    def test_headerless(self):
+        trace = parse_csv(io.StringIO("0.0,1,2,60\n"))
+        assert len(trace) == 1
+
+    def test_comments_and_blank_lines(self):
+        trace = parse_csv(io.StringIO("# comment\n\n0.0,1,2,60\n"))
+        assert len(trace) == 1
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(TraceParseError) as exc:
+            parse_csv(io.StringIO("0.0,1,2,60\n1.0,1,2\n"))
+        assert exc.value.line_number == 2
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(TraceParseError):
+            parse_csv(io.StringIO("0.0,1,x,60\n"))
+        with pytest.raises(TraceParseError):
+            parse_csv(io.StringIO("0.0,1,1,60\n"))  # self-contact
+
+    def test_roundtrip_with_writer(self, tmp_path):
+        trace = ContactTrace(
+            [ContactRecord(0.0, 1, 2, 60.0), ContactRecord(50.0, 2, 3, 120.0)],
+            name="roundtrip",
+        )
+        path = tmp_path / "trace.csv"
+        write_csv(trace, path)
+        loaded = parse_csv(path, name="roundtrip")
+        assert list(loaded) == list(trace)
+
+    def test_write_to_stream(self):
+        trace = ContactTrace([ContactRecord(0.0, 1, 2, 60.0)])
+        buffer = io.StringIO()
+        write_csv(trace, buffer)
+        assert "start,node_a,node_b,duration" in buffer.getvalue()
+
+
+class TestParseOneEvents:
+    def test_up_down_pairs(self):
+        source = io.StringIO(
+            "0.0 CONN 1 2 up\n"
+            "50.0 CONN 1 2 down\n"
+            "60.0 CONN 2 3 up\n"
+            "90.0 CONN 3 2 down\n"
+        )
+        trace = parse_one_events(source)
+        assert len(trace) == 2
+        assert trace[0] == ContactRecord(0.0, 1, 2, 50.0)
+        assert trace[1] == ContactRecord(60.0, 2, 3, 30.0)
+
+    def test_dangling_up_closed_at_end(self):
+        source = io.StringIO("0.0 CONN 1 2 up\n100.0 CONN 3 4 up\n100.0 CONN 3 4 down\n")
+        trace = parse_one_events(source)
+        dangling = [c for c in trace if c.pair == (1, 2)]
+        assert dangling[0].duration == 100.0
+
+    def test_double_up_rejected(self):
+        source = io.StringIO("0.0 CONN 1 2 up\n10.0 CONN 1 2 up\n")
+        with pytest.raises(TraceParseError):
+            parse_one_events(source)
+
+    def test_down_without_up_rejected(self):
+        with pytest.raises(TraceParseError):
+            parse_one_events(io.StringIO("0.0 CONN 1 2 down\n"))
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(TraceParseError):
+            parse_one_events(io.StringIO("0.0 FOO 1 2 up\n"))
+        with pytest.raises(TraceParseError):
+            parse_one_events(io.StringIO("0.0 CONN 1 2 sideways\n"))
+
+    def test_comments_skipped(self):
+        source = io.StringIO("# header\n0.0 CONN 1 2 up\n5.0 CONN 1 2 down\n")
+        assert len(parse_one_events(source)) == 1
+
+
+class TestParseImote:
+    def test_basic(self):
+        trace = parse_imote(io.StringIO("1 2 0.0 50.0\n2 3 60 90\n"))
+        assert len(trace) == 2
+        assert trace[0].duration == 50.0
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(TraceParseError):
+            parse_imote(io.StringIO("1 2 50.0 0.0\n"))
+
+    def test_short_row_rejected(self):
+        with pytest.raises(TraceParseError):
+            parse_imote(io.StringIO("1 2 50.0\n"))
+
+
+class TestLoadTrace:
+    def test_dispatch_by_format(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0.0,1,2,60\n")
+        trace = load_trace(path, fmt="csv")
+        assert len(trace) == 1
+        assert trace.name == "t"
+
+    def test_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_trace(tmp_path / "t.xyz", fmt="xyz")
+
+    def test_imote_from_file(self, tmp_path):
+        path = tmp_path / "sightings.txt"
+        path.write_text("1 2 0 30\n")
+        trace = load_trace(path, fmt="imote", name="crawdad")
+        assert trace.name == "crawdad"

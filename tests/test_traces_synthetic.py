@@ -1,0 +1,160 @@
+"""Tests for the synthetic trace generators (the MIT/Cambridge stand-ins)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import (
+    SyntheticTraceSpec,
+    cambridge06_like,
+    gateway_uplink_contacts,
+    generate_trace,
+    mit_reality_like,
+)
+
+
+class TestSpecValidation:
+    def test_rejects_single_node(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceSpec(num_nodes=1, duration_hours=10.0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceSpec(num_nodes=5, duration_hours=0.0)
+
+    def test_rejects_bad_connectivity(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceSpec(num_nodes=5, duration_hours=1.0, pair_connectivity=1.5)
+
+
+class TestGenerateTrace:
+    def spec(self, **overrides):
+        defaults = dict(
+            num_nodes=20,
+            duration_hours=48.0,
+            num_communities=4,
+            intra_rate_per_hour=0.1,
+            inter_rate_per_hour=0.01,
+            pair_connectivity=0.5,
+            scan_interval_s=300.0,
+        )
+        defaults.update(overrides)
+        return SyntheticTraceSpec(**defaults)
+
+    def test_deterministic_for_seed(self):
+        a = generate_trace(self.spec(), seed=42)
+        b = generate_trace(self.spec(), seed=42)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(self.spec(), seed=1)
+        b = generate_trace(self.spec(), seed=2)
+        assert list(a) != list(b)
+
+    def test_node_ids_within_range(self):
+        trace = generate_trace(self.spec(), seed=0)
+        assert trace.node_ids() <= set(range(1, 21))
+
+    def test_contacts_within_horizon(self):
+        trace = generate_trace(self.spec(), seed=0)
+        assert all(c.start < 48.0 * 3600.0 for c in trace)
+
+    def test_starts_snapped_to_scan_interval(self):
+        trace = generate_trace(self.spec(), seed=0)
+        for contact in trace:
+            assert contact.start % 300.0 == pytest.approx(0.0, abs=1e-6)
+
+    def test_durations_at_least_one_scan(self):
+        trace = generate_trace(self.spec(), seed=0)
+        assert all(c.duration >= 300.0 for c in trace)
+
+    def test_intra_community_pairs_meet_more(self):
+        """Community structure: same-community pairs contact more often."""
+        spec = self.spec(num_nodes=24, duration_hours=200.0, intra_rate_per_hour=0.2)
+        trace = generate_trace(spec, seed=3)
+        community = {node: (node - 1) % 4 for node in range(1, 25)}
+        intra = inter = 0
+        for contact in trace:
+            if community[contact.node_a] == community[contact.node_b]:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > inter
+
+    def test_intercontact_gaps_exponential_ish(self):
+        """The generator matches the Sec. III-B model: *per pair*, gaps are
+        exponential, so each pair's coefficient of variation is near 1.
+        (Pooled across pairs the CV exceeds 1 -- rates are heterogeneous.)
+        """
+        spec = self.spec(num_nodes=6, duration_hours=2000.0, num_communities=1,
+                         intra_rate_per_hour=0.2, scan_interval_s=1.0)
+        trace = generate_trace(spec, seed=5)
+        per_pair_cv = []
+        for pair_gaps in trace.pair_intercontact_gaps().values():
+            gaps = np.asarray(pair_gaps)
+            if len(gaps) >= 50:
+                per_pair_cv.append(gaps.std() / gaps.mean())
+        assert len(per_pair_cv) >= 5
+        median_cv = float(np.median(per_pair_cv))
+        assert 0.8 < median_cv < 1.25
+
+    def test_first_node_id_offset(self):
+        spec = self.spec(first_node_id=100)
+        trace = generate_trace(spec, seed=0)
+        assert min(trace.node_ids()) >= 100
+
+
+class TestNamedTraces:
+    def test_mit_reality_like_shape(self):
+        trace = mit_reality_like(seed=0, duration_hours=50.0)
+        assert trace.name == "mit-reality-like"
+        nodes = trace.node_ids()
+        assert nodes <= set(range(1, 98))
+        assert len(nodes) > 50  # most of the 97 nodes appear even in 50 h
+
+    def test_cambridge06_like_shape(self):
+        trace = cambridge06_like(seed=0, duration_hours=50.0)
+        nodes = trace.node_ids()
+        assert nodes <= set(range(1, 55))
+        # Cambridge06 scans every 2 minutes.
+        for contact in trace:
+            assert contact.start % 120.0 == pytest.approx(0.0, abs=1e-6)
+
+    def test_cambridge_denser_than_mit(self):
+        mit = mit_reality_like(seed=0, duration_hours=100.0)
+        cam = cambridge06_like(seed=0, duration_hours=100.0)
+        assert (
+            cam.summary()["contacts_per_node_hour"]
+            > mit.summary()["contacts_per_node_hour"]
+        )
+
+
+class TestGatewayUplinks:
+    def test_contacts_only_for_gateways(self):
+        trace = gateway_uplink_contacts([3, 7], end_time_s=100 * 3600.0, seed=0)
+        for contact in trace:
+            assert contact.node_a == 0
+            assert contact.node_b in (3, 7)
+
+    def test_mean_interval_roughly_respected(self):
+        trace = gateway_uplink_contacts(
+            [1], end_time_s=1000 * 3600.0, mean_interval_s=3600.0, seed=1
+        )
+        expected = 1000.0
+        assert 0.8 * expected < len(trace) < 1.2 * expected
+
+    def test_command_center_cannot_be_gateway(self):
+        with pytest.raises(ValueError):
+            gateway_uplink_contacts([0], end_time_s=100.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            gateway_uplink_contacts([1], end_time_s=10.0, mean_interval_s=0.0)
+
+    def test_deterministic(self):
+        a = gateway_uplink_contacts([1, 2], end_time_s=1e5, seed=9)
+        b = gateway_uplink_contacts([1, 2], end_time_s=1e5, seed=9)
+        assert list(a) == list(b)

@@ -1,0 +1,125 @@
+"""Property-based tests for transfer planning and execution invariants."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coverage_index import CoverageIndex
+from repro.core.geometry import Point
+from repro.core.poi import PoIList
+from repro.core.selection import NodeSelection, ReallocationResult
+from repro.core.transfer import build_transfer_plan, execute_transfer_plan
+
+from helpers import MB, make_photo
+
+PHOTO = 4 * MB
+
+
+@st.composite
+def transfer_cases(draw):
+    """Random holdings + random target selections over a shared pool."""
+    pool_size = draw(st.integers(min_value=0, max_value=8))
+    pool = [make_photo(float(i), 0.0, 0.0, size_bytes=PHOTO) for i in range(pool_size)]
+
+    def subset():
+        mask = draw(st.lists(st.booleans(), min_size=pool_size, max_size=pool_size))
+        return [photo for photo, keep in zip(pool, mask) if keep]
+
+    holdings_a = subset()
+    holdings_b = [p for p in pool if p not in holdings_a] + subset()
+    # Deduplicate holdings_b preserving order.
+    seen = set()
+    holdings_b = [p for p in holdings_b if p.photo_id not in seen and not seen.add(p.photo_id)]
+
+    # Target selections: subsets of the pool, only photos someone holds.
+    held_ids = {p.photo_id for p in holdings_a} | {p.photo_id for p in holdings_b}
+    available = [p for p in pool if p.photo_id in held_ids]
+    target_a = [p for p in available if draw(st.booleans())]
+    target_b = [p for p in available if draw(st.booleans())]
+
+    # Capacities at least cover current holdings (the simulator's storage
+    # enforces this at all times; smaller capacities are unreachable states).
+    capacity_a = len(holdings_a) * PHOTO + draw(st.integers(min_value=0, max_value=4)) * PHOTO
+    capacity_b = len(holdings_b) * PHOTO + draw(st.integers(min_value=0, max_value=4)) * PHOTO
+    budget = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=8 * PHOTO)))
+    return holdings_a, holdings_b, target_a, target_b, capacity_a, capacity_b, budget
+
+
+class TestExecutionInvariants:
+    @given(case=transfer_cases())
+    @settings(max_examples=150, deadline=None)
+    def test_physical_invariants(self, case):
+        holdings_a, holdings_b, target_a, target_b, cap_a, cap_b, budget = case
+        result = ReallocationResult(
+            first=NodeSelection(node_id=1, photos=target_a),
+            second=NodeSelection(node_id=2, photos=target_b),
+        )
+        holdings = {1: holdings_a, 2: holdings_b}
+        plan = build_transfer_plan(result, holdings)
+        outcome = execute_transfer_plan(
+            plan, result, holdings,
+            capacities={1: cap_a, 2: cap_b},
+            byte_budget=budget,
+        )
+
+        # 1. Byte budget respected.
+        if budget is not None:
+            assert outcome.bytes_used <= budget
+        assert outcome.bytes_used == sum(
+            t.photo.size_bytes for t in outcome.completed_transfers
+        )
+
+        # 2. Capacity respected on both nodes.
+        for node_id, capacity in ((1, cap_a), (2, cap_b)):
+            used = sum(p.size_bytes for p in outcome.final_collections[node_id])
+            assert used <= capacity
+
+        # 3. Completed transfers are a prefix of the plan.
+        assert outcome.completed_transfers == [
+            t for t in list(plan)[: len(outcome.completed_transfers) + _skips(plan, outcome)]
+            if t in outcome.completed_transfers
+        ]
+
+        # 4. Nobody conjures photos: every held photo existed before or was
+        #    transferred in.
+        before = {p.photo_id for p in holdings_a} | {p.photo_id for p in holdings_b}
+        for node_id in (1, 2):
+            for photo in outcome.final_collections[node_id]:
+                assert photo.photo_id in before
+
+        # 5. A completed (untruncated) plan leaves each node with a subset
+        #    of its target selection.
+        if not outcome.truncated:
+            for node_id, targets in ((1, target_a), (2, target_b)):
+                target_ids = {p.photo_id for p in targets}
+                for photo in outcome.final_collections[node_id]:
+                    assert photo.photo_id in target_ids
+
+    @given(case=transfer_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_transfers_only_ship_held_photos(self, case):
+        holdings_a, holdings_b, target_a, target_b, *_ = case
+        result = ReallocationResult(
+            first=NodeSelection(node_id=1, photos=target_a),
+            second=NodeSelection(node_id=2, photos=target_b),
+        )
+        holdings = {1: holdings_a, 2: holdings_b}
+        plan = build_transfer_plan(result, holdings)
+        for transfer in plan:
+            receiver_held = {p.photo_id for p in holdings[transfer.receiver_id]}
+            assert transfer.photo.photo_id not in receiver_held
+
+
+def _skips(plan, outcome) -> int:
+    """Transfers attempted but skipped for capacity (not counted in bytes)."""
+    completed_ids = {id(t) for t in outcome.completed_transfers}
+    count = 0
+    for transfer in plan:
+        if id(transfer) not in completed_ids:
+            count += 1
+    return count

@@ -1,0 +1,122 @@
+"""Tests for trace transforms (bootstrap, subsampling, time scaling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+from repro.traces.model import ContactRecord, ContactTrace
+from repro.traces.synthetic import SyntheticTraceSpec, generate_trace
+from repro.traces.transforms import bootstrap_trace, subsample_nodes, time_scale
+
+
+def sample_trace():
+    return generate_trace(
+        SyntheticTraceSpec(num_nodes=12, duration_hours=96.0, num_communities=3,
+                           intra_rate_per_hour=0.1),
+        seed=1,
+    )
+
+
+class TestBootstrap:
+    def test_preserves_contact_volume_roughly(self):
+        trace = sample_trace()
+        replicate = bootstrap_trace(trace, block_s=24 * 3600.0, seed=0)
+        assert 0.4 * len(trace) < len(replicate) < 2.0 * len(trace)
+
+    def test_same_node_population_subset(self):
+        trace = sample_trace()
+        replicate = bootstrap_trace(trace, block_s=24 * 3600.0, seed=0)
+        assert replicate.node_ids() <= trace.node_ids()
+
+    def test_deterministic(self):
+        trace = sample_trace()
+        a = bootstrap_trace(trace, seed=4)
+        b = bootstrap_trace(trace, seed=4)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        trace = sample_trace()
+        assert list(bootstrap_trace(trace, seed=1)) != list(bootstrap_trace(trace, seed=2))
+
+    def test_span_preserved_up_to_block(self):
+        trace = sample_trace()
+        replicate = bootstrap_trace(trace, block_s=24 * 3600.0, seed=0)
+        assert replicate.end_time <= trace.span + 24 * 3600.0 + trace.mean_contact_duration() * 10
+
+    def test_empty_trace(self):
+        assert len(bootstrap_trace(ContactTrace([]), seed=0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_trace(sample_trace(), block_s=0.0)
+
+
+class TestSubsampleNodes:
+    def test_fraction_respected(self):
+        trace = sample_trace()
+        half = subsample_nodes(trace, 0.5, seed=0)
+        assert len(half.node_ids()) == pytest.approx(len(trace.node_ids()) / 2, abs=1)
+
+    def test_always_keep_pinned(self):
+        trace = sample_trace()
+        pinned = sorted(trace.node_ids())[:2]
+        sub = subsample_nodes(trace, 0.2, seed=0, always_keep=pinned)
+        # Every contact between two pinned nodes must survive verbatim.
+        expected = [c for c in trace if set(c.pair) <= set(pinned)]
+        survived = [c for c in sub if set(c.pair) <= set(pinned)]
+        assert survived == expected
+        assert sub.node_ids() <= trace.node_ids()
+
+    def test_full_fraction_is_identity(self):
+        trace = sample_trace()
+        assert list(subsample_nodes(trace, 1.0, seed=0)) == list(trace)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            subsample_nodes(sample_trace(), 0.0)
+
+
+class TestTimeScale:
+    def test_compression_densifies(self):
+        trace = sample_trace()
+        compressed = time_scale(trace, 0.5)
+        assert compressed.span == pytest.approx(trace.span * 0.5, rel=0.01)
+        assert len(compressed) == len(trace)
+        # Durations unchanged by default.
+        assert compressed.mean_contact_duration() == pytest.approx(
+            trace.mean_contact_duration()
+        )
+
+    def test_duration_scaling_opt_in(self):
+        trace = sample_trace()
+        scaled = time_scale(trace, 2.0, scale_durations=True)
+        assert scaled.mean_contact_duration() == pytest.approx(
+            2.0 * trace.mean_contact_duration()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_scale(sample_trace(), 0.0)
+
+
+class TestChurnAblation:
+    def test_sweep_churn_shape(self):
+        results = ablations.sweep_churn(
+            availabilities=(1.0, 0.5), scale=0.08, num_runs=1
+        )
+        assert set(results) == {"availability=1.0", "availability=0.5"}
+        full = results["availability=1.0"]
+        churned = results["availability=0.5"]
+        # Losing half the participation time cannot help.
+        assert churned.point_coverage <= full.point_coverage + 0.05
+
+    def test_sweep_churn_validation(self):
+        with pytest.raises(ValueError):
+            ablations.sweep_churn(availabilities=(0.0,), scale=0.08)
+
+    def test_cli_churn(self, capsys):
+        from repro.cli import main
+
+        assert main(["ablation", "churn", "--scale", "0.08"]) == 0
+        assert "availability=" in capsys.readouterr().out

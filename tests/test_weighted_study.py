@@ -1,0 +1,63 @@
+"""Tests for the weighted-PoI prioritization study and example smoke runs."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.weighted_study import run_weighted_study
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestWeightedStudy:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_weighted_study(scale=0.15, seed=0)
+
+    def test_weights_prioritize_important_pois(self, outcome):
+        """Section II-C: weighted PoIs are covered at least as well."""
+        assert outcome.important_point_weighted >= outcome.important_point_unweighted
+        assert (
+            outcome.important_aspect_weighted_deg
+            >= outcome.important_aspect_unweighted_deg - 1e-9
+        )
+        assert outcome.prioritization_gain() >= 0.0
+
+    def test_scarcity_produces_strict_gain(self, outcome):
+        """Under the default scarce uplink the gain is strictly positive."""
+        assert outcome.prioritization_gain() > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_weighted_study(important_fraction=0.0, scale=0.1)
+        with pytest.raises(ValueError):
+            run_weighted_study(weight=1.0, scale=0.1)
+
+
+class TestExampleSmoke:
+    """Every example script must at least run to completion."""
+
+    @pytest.mark.parametrize(
+        "script,args",
+        [
+            ("quickstart.py", []),
+            ("weighted_targets.py", []),
+            ("sensor_fusion_demo.py", []),
+            ("delivery_forensics.py", []),
+            ("contact_duration_study.py", ["--scale", "0.08"]),
+            ("disaster_response.py", ["--scale", "0.15"]),
+        ],
+    )
+    def test_example_runs(self, script, args):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES / script), *args],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert completed.stdout.strip()
