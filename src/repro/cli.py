@@ -77,6 +77,21 @@ def build_parser() -> argparse.ArgumentParser:
     dissemination.add_argument("--runs", type=int, default=1)
     dissemination.add_argument("--seed", type=int, default=0)
 
+    robustness = sub.add_parser(
+        "robustness", help="delivered coverage under fault injection (disaster scenarios)"
+    )
+    robustness.add_argument("--scale", type=float, default=0.2)
+    robustness.add_argument("--runs", type=int, default=1)
+    robustness.add_argument("--seed", type=int, default=0)
+    robustness.add_argument(
+        "--intensities",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="I",
+        help="fault intensities in [0, 1] to sweep (default: 0 .25 .5 .75 1)",
+    )
+
     centralized = sub.add_parser(
         "centralized", help="DTN selection vs a connected server (SmartPhoto setting)"
     )
@@ -118,6 +133,7 @@ def _cmd_list() -> int:
         ["demo", "Fig. 3 prototype demo (9 nodes, 40 photos; --sensors)"],
         ["latency", "delivery-latency percentiles per scheme"],
         ["dissemination", "PoI-list spread delay and its coverage cost"],
+        ["robustness", "coverage degradation under fault injection"],
         ["centralized", "DTN vs connected-server selection efficiency"],
         ["weighted", "PoI-weight prioritization under a scarce uplink"],
         ["trace-stats", "Sec. III-B exponential inter-contact check"],
@@ -197,6 +213,19 @@ def _dispatch(args: argparse.Namespace) -> int:
 
         summaries = run_latency_study(scale=args.scale, num_runs=args.runs, seed=args.seed)
         print(latency_report(summaries))
+        return 0
+    if args.command == "robustness":
+        from .experiments.robustness_study import (
+            DEFAULT_INTENSITIES,
+            robustness_report,
+            run_robustness_study,
+        )
+
+        intensities = args.intensities if args.intensities else DEFAULT_INTENSITIES
+        outcome = run_robustness_study(
+            scale=args.scale, num_runs=args.runs, seed=args.seed, intensities=intensities
+        )
+        print(robustness_report(outcome))
         return 0
     if args.command == "centralized":
         from .experiments.centralized_study import run_centralized_study

@@ -17,7 +17,7 @@ paper's "photo collections gradually become the same as the solution".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from .metadata import Photo
 from .selection import ReallocationResult
@@ -83,6 +83,9 @@ class TransferOutcome:
     completed_transfers: List[Transfer]
     truncated: bool
     bytes_used: int
+    #: Transfers that consumed contact bytes but arrived corrupted and were
+    #: discarded by the receiver (fault injection; empty without faults).
+    dropped_transfers: List[Transfer] = field(default_factory=list)
 
     def delivered_to(self, node_id: int) -> List[Photo]:
         return [t.photo for t in self.completed_transfers if t.receiver_id == node_id]
@@ -94,6 +97,7 @@ def execute_transfer_plan(
     holdings: Dict[int, Sequence[Photo]],
     capacities: Dict[int, Optional[int]],
     byte_budget: Optional[int] = None,
+    transfer_survives: Optional[Callable[[Photo], bool]] = None,
 ) -> TransferOutcome:
     """Run *plan* under a contact byte budget and return the outcome.
 
@@ -107,6 +111,12 @@ def execute_transfer_plan(
     byte_budget:
         ``bandwidth * duration`` for the contact; ``None`` means the
         contact is long enough for everything.
+    transfer_survives:
+        Fault-injection hook (:meth:`repro.dtn.simulator.Simulation.
+        transfer_survives`): called once per attempted transmission; a
+        ``False`` return means the photo was corrupted in flight -- its
+        bytes still count against the budget but the receiver discards it.
+        ``None`` means every transmission arrives intact.
     """
     collections: Dict[int, List[Photo]] = {
         node_id: list(photos) for node_id, photos in holdings.items()
@@ -119,6 +129,7 @@ def execute_transfer_plan(
     # reverse of their (peer's) selection value -- we simply drop photos
     # that are not targets, oldest-id-last for determinism.
     completed: List[Transfer] = []
+    dropped: List[Transfer] = []
     bytes_used = 0
     truncated = False
 
@@ -133,6 +144,11 @@ def execute_transfer_plan(
             if not _make_room(collections[receiver], target_ids[receiver], capacity, size):
                 # Could not make room without evicting a target photo; skip.
                 continue
+        if transfer_survives is not None and not transfer_survives(transfer.photo):
+            # Corrupted in flight: bandwidth spent, nothing stored.
+            dropped.append(transfer)
+            bytes_used += size
+            continue
         collections[receiver].append(transfer.photo)
         completed.append(transfer)
         bytes_used += size
@@ -151,6 +167,7 @@ def execute_transfer_plan(
         completed_transfers=completed,
         truncated=truncated,
         bytes_used=bytes_used,
+        dropped_transfers=dropped,
     )
 
 

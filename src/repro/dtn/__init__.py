@@ -1,6 +1,7 @@
-"""DTN simulator substrate: events, storage, nodes, and the event loop."""
+"""DTN simulator substrate: events, storage, nodes, faults, and the event loop."""
 
 from .events import Event, EventKind, EventQueue
+from .faults import CrashEvent, FaultCounters, FaultInjector, FaultPlan
 from .node import COMMAND_CENTER_ID, CommandCenter, DTNNode
 from .simulator import (
     GIGABYTE,
@@ -16,6 +17,10 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "CrashEvent",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
     "COMMAND_CENTER_ID",
     "CommandCenter",
     "DTNNode",

@@ -20,12 +20,21 @@ __all__ = ["EventKind", "Event", "EventQueue"]
 
 
 class EventKind:
-    """Tie-break priorities for simultaneous events (lower runs first)."""
+    """Tie-break priorities for simultaneous events (lower runs first).
+
+    Crash/restart sit between photo creation and contacts so that a node
+    failing at instant *t* misses the contact scheduled at *t* (the crash
+    preempts the link), while a node restarting at *t* catches it.
+    Restarts run before crashes at the same instant so a back-to-back
+    downtime window closes before the next failure opens.
+    """
 
     PHOTO_CREATED = 0
-    CONTACT = 1
-    SAMPLE = 2
-    END = 3
+    NODE_RESTART = 1
+    NODE_CRASH = 2
+    CONTACT = 3
+    SAMPLE = 4
+    END = 5
 
 
 @dataclass(frozen=True)
@@ -35,7 +44,11 @@ class Event:
     ``payload`` is interpreted by kind:
 
     * ``PHOTO_CREATED`` -- ``(owner_id, Photo)``
-    * ``CONTACT``       -- ``(node_a, node_b, duration_seconds)``
+    * ``NODE_RESTART``  -- ``node_id``
+    * ``NODE_CRASH``    -- ``(node_id, restart_time_seconds)``
+    * ``CONTACT``       -- ``(node_a, node_b, duration_seconds)`` or
+      ``(node_a, node_b, duration_seconds, bandwidth_multiplier)`` when
+      fault injection jitters the link
     * ``SAMPLE``        -- ``None``
     * ``END``           -- ``None``
     """

@@ -1,0 +1,338 @@
+"""Deterministic fault injection for the DTN simulator.
+
+The paper's robustness story (Section III) is that bandwidth-aware,
+selection-ordered transfer keeps the most valuable photos flowing even
+when contacts are truncated -- but clean contact traces never stress that
+claim.  Disaster-scenario DTNs are exactly where links fail mid-transfer
+and nodes churn, so this module perturbs a run with four fault families:
+
+(a) **Contact faults** -- mid-contact truncation (the link dies early),
+    per-contact bandwidth jitter (interference), dropped contacts (the
+    scan never happens), and delayed contact events (discovery latency,
+    which also reorders simultaneous contacts).
+(b) **Node churn** -- Poisson crash processes per node with configurable
+    downtime and storage loss; a crashed node misses contacts and photo
+    opportunities until it restarts.
+(c) **Transfer faults** -- a photo transmission consumes contact bytes
+    but arrives corrupted and is discarded by the receiver.
+(d) **Metadata corruption** -- a metadata snapshot is degraded in flight:
+    photos disappear from it and its timestamp ages, so the receiver's
+    Eq. 1 cache-expiry path (``CacheEntry.is_valid_at``) re-validates and
+    eventually discards it.
+
+Everything is driven by a single seeded :class:`random.Random` stream
+owned by the :class:`FaultInjector`, so two runs with the same seed and
+the same :class:`FaultPlan` are byte-identical.  A zero plan (the default
+``FaultPlan()``) injects nothing and draws no random numbers, so the
+simulator's output is byte-identical to a run with no plan at all.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.metadata import Photo
+from ..metadata_mgmt.cache import CacheEntry
+
+__all__ = ["FaultPlan", "FaultCounters", "FaultInjector", "CrashEvent"]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_non_negative(name: str, value: float) -> None:
+    if value < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The knobs of the fault model.  All-zero (the default) means no faults.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the injector's private random stream.  Two runs with the
+        same plan (same seed included) are byte-identical.
+    truncation_probability:
+        Chance an individual contact is cut short mid-transfer.  The
+        remaining duration fraction is drawn uniformly from
+        ``[min_truncation_fraction, 1)``.
+    min_truncation_fraction:
+        Lower bound of the surviving duration fraction of a truncated
+        contact.
+    bandwidth_jitter:
+        Relative sigma of a per-contact log-normal bandwidth multiplier;
+        0 means every contact sees the configured bandwidth exactly.
+    contact_drop_probability:
+        Chance a contact never happens at all (scan missed).
+    contact_delay_probability:
+        Chance a contact event is delayed by up to ``max_contact_delay_s``
+        seconds (uniform), which can also reorder nearby contacts.
+    max_contact_delay_s:
+        Upper bound of the contact delay draw.
+    crash_rate_per_node_hour:
+        Poisson rate of node crashes, per node per simulated hour.
+    mean_downtime_s:
+        Mean of the exponential downtime after a crash.
+    storage_loss_fraction:
+        Fraction of a crashed node's stored photos that are lost
+        (each photo independently, 1.0 wipes the store).
+    cache_loss_on_crash:
+        Whether a crash also wipes the node's metadata cache and contact
+        estimator state (a cold restart).
+    transfer_drop_probability:
+        Chance a photo transmission is corrupted in flight: the bytes are
+        spent but the receiver discards the photo.
+    metadata_corruption_probability:
+        Chance a metadata snapshot handed to a peer is degraded (photos
+        dropped from it, timestamp aged) so the Eq. 1 expiry path at the
+        receiver re-validates it.
+    metadata_aging_s:
+        How far into the past a corrupted snapshot's timestamp is pushed.
+    """
+
+    seed: int = 0
+    # (a) contact-level faults
+    truncation_probability: float = 0.0
+    min_truncation_fraction: float = 0.1
+    bandwidth_jitter: float = 0.0
+    contact_drop_probability: float = 0.0
+    contact_delay_probability: float = 0.0
+    max_contact_delay_s: float = 0.0
+    # (b) node churn
+    crash_rate_per_node_hour: float = 0.0
+    mean_downtime_s: float = 3600.0
+    storage_loss_fraction: float = 1.0
+    cache_loss_on_crash: bool = True
+    # (c) transfer faults
+    transfer_drop_probability: float = 0.0
+    # (d) metadata corruption
+    metadata_corruption_probability: float = 0.0
+    metadata_aging_s: float = 6.0 * 3600.0
+
+    def __post_init__(self) -> None:
+        _check_probability("truncation_probability", self.truncation_probability)
+        _check_probability("min_truncation_fraction", self.min_truncation_fraction)
+        _check_probability("contact_drop_probability", self.contact_drop_probability)
+        _check_probability("contact_delay_probability", self.contact_delay_probability)
+        _check_probability("storage_loss_fraction", self.storage_loss_fraction)
+        _check_probability("transfer_drop_probability", self.transfer_drop_probability)
+        _check_probability(
+            "metadata_corruption_probability", self.metadata_corruption_probability
+        )
+        _check_non_negative("bandwidth_jitter", self.bandwidth_jitter)
+        _check_non_negative("max_contact_delay_s", self.max_contact_delay_s)
+        _check_non_negative("crash_rate_per_node_hour", self.crash_rate_per_node_hour)
+        _check_non_negative("metadata_aging_s", self.metadata_aging_s)
+        if self.mean_downtime_s <= 0.0:
+            raise ValueError(f"mean_downtime_s must be positive, got {self.mean_downtime_s}")
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan injects nothing (the simulator skips wiring)."""
+        return (
+            self.truncation_probability == 0.0
+            and self.bandwidth_jitter == 0.0
+            and self.contact_drop_probability == 0.0
+            and self.contact_delay_probability == 0.0
+            and self.crash_rate_per_node_hour == 0.0
+            and self.transfer_drop_probability == 0.0
+            and self.metadata_corruption_probability == 0.0
+        )
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The explicit no-fault plan (identical to the default)."""
+        return cls()
+
+    @classmethod
+    def scaled(cls, intensity: float, seed: int = 0) -> "FaultPlan":
+        """A representative disaster-scenario bundle at *intensity* in [0, 1].
+
+        Intensity 0 is the zero plan; intensity 1 is a heavily damaged
+        network: half the contacts truncated, strong bandwidth jitter,
+        occasional node crashes, and lossy transfers.  Used by the
+        robustness study to sweep a single knob.
+        """
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError(f"intensity must be in [0, 1], got {intensity}")
+        if intensity == 0.0:
+            return cls(seed=seed)
+        return cls(
+            seed=seed,
+            truncation_probability=0.5 * intensity,
+            min_truncation_fraction=0.1,
+            bandwidth_jitter=0.4 * intensity,
+            contact_drop_probability=0.15 * intensity,
+            contact_delay_probability=0.25 * intensity,
+            max_contact_delay_s=1800.0 * intensity,
+            crash_rate_per_node_hour=0.01 * intensity,
+            mean_downtime_s=2.0 * 3600.0,
+            storage_loss_fraction=0.5 + 0.5 * intensity,
+            transfer_drop_probability=0.15 * intensity,
+            metadata_corruption_probability=0.25 * intensity,
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+
+@dataclass
+class FaultCounters:
+    """Per-fault tallies one run accumulates (reported on the result)."""
+
+    contacts_dropped: int = 0
+    contacts_truncated: int = 0
+    contacts_delayed: int = 0
+    contacts_jittered: int = 0
+    contacts_skipped_node_down: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    photos_lost_to_crash: int = 0
+    photos_missed_while_down: int = 0
+    transfers_dropped: int = 0
+    metadata_snapshots_corrupted: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def total(self) -> int:
+        return sum(self.as_dict().values())
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled node crash with its restart instant."""
+
+    time: float
+    node_id: int
+    restart_time: float
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` with one private seeded random stream.
+
+    The simulator consults the injector at well-defined points (contact
+    scheduling, contact dispatch, transfer execution, metadata snapshots);
+    because the event loop is deterministic, the draw order -- and hence
+    the whole perturbed run -- is reproducible from the plan's seed.
+    """
+
+    def __init__(self, plan: FaultPlan, counters: Optional[FaultCounters] = None) -> None:
+        self.plan = plan
+        self.counters = counters if counters is not None else FaultCounters()
+        self._rng = random.Random(plan.seed)
+
+    # ------------------------------------------------------------------
+    # (a) contact faults
+    # ------------------------------------------------------------------
+
+    def perturb_contact(
+        self, start: float, duration: float
+    ) -> Optional[Tuple[float, float, float]]:
+        """Perturbed ``(start, duration, bandwidth_multiplier)`` of a contact.
+
+        Returns ``None`` when the contact is dropped entirely.  Draw order
+        is fixed (drop, delay, truncation, jitter) so the stream is stable.
+        """
+        plan = self.plan
+        if plan.contact_drop_probability > 0.0:
+            if self._rng.random() < plan.contact_drop_probability:
+                self.counters.contacts_dropped += 1
+                return None
+        if plan.contact_delay_probability > 0.0:
+            if self._rng.random() < plan.contact_delay_probability:
+                delay = self._rng.uniform(0.0, plan.max_contact_delay_s)
+                if delay > 0.0:
+                    self.counters.contacts_delayed += 1
+                    start += delay
+        if plan.truncation_probability > 0.0 and duration > 0.0:
+            if self._rng.random() < plan.truncation_probability:
+                fraction = self._rng.uniform(plan.min_truncation_fraction, 1.0)
+                self.counters.contacts_truncated += 1
+                duration *= fraction
+        multiplier = 1.0
+        if plan.bandwidth_jitter > 0.0:
+            multiplier = math.exp(self._rng.gauss(0.0, plan.bandwidth_jitter))
+            self.counters.contacts_jittered += 1
+        return start, duration, multiplier
+
+    # ------------------------------------------------------------------
+    # (b) node churn
+    # ------------------------------------------------------------------
+
+    def crash_schedule(
+        self, node_ids: Sequence[int], end_time_s: float
+    ) -> List[CrashEvent]:
+        """Sample each node's Poisson crash process over the run.
+
+        Overlapping crashes of the same node are merged at dispatch time by
+        the simulator (a node already down ignores further crashes).
+        """
+        rate_per_s = self.plan.crash_rate_per_node_hour / 3600.0
+        if rate_per_s <= 0.0 or end_time_s <= 0.0:
+            return []
+        events: List[CrashEvent] = []
+        for node_id in sorted(node_ids):
+            t = self._rng.expovariate(rate_per_s)
+            while t < end_time_s:
+                downtime = self._rng.expovariate(1.0 / self.plan.mean_downtime_s)
+                events.append(CrashEvent(time=t, node_id=node_id, restart_time=t + downtime))
+                t = t + downtime + self._rng.expovariate(rate_per_s)
+        events.sort(key=lambda e: (e.time, e.node_id))
+        return events
+
+    def surviving_photos(self, photos: Sequence[Photo]) -> List[Photo]:
+        """The subset of *photos* that survives a crash's storage loss."""
+        loss = self.plan.storage_loss_fraction
+        if loss <= 0.0:
+            return list(photos)
+        survivors: List[Photo] = []
+        lost = 0
+        for photo in photos:
+            if self._rng.random() < loss:
+                lost += 1
+            else:
+                survivors.append(photo)
+        self.counters.photos_lost_to_crash += lost
+        return survivors
+
+    # ------------------------------------------------------------------
+    # (c) transfer faults
+    # ------------------------------------------------------------------
+
+    def transfer_survives(self) -> bool:
+        """False when a photo transmission is corrupted in flight."""
+        if self.plan.transfer_drop_probability <= 0.0:
+            return True
+        if self._rng.random() < self.plan.transfer_drop_probability:
+            self.counters.transfers_dropped += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # (d) metadata corruption
+    # ------------------------------------------------------------------
+
+    def maybe_corrupt_snapshot(self, entry: CacheEntry) -> CacheEntry:
+        """Degrade a metadata snapshot in flight with the plan's probability.
+
+        Corruption drops each listed photo independently (50%) and pushes
+        the snapshot's timestamp ``metadata_aging_s`` into the past, so the
+        receiver's Eq. 1 validity check (:meth:`CacheEntry.is_valid_at`)
+        treats the entry as stale and the cache-expiry path cleans it up.
+        """
+        if self.plan.metadata_corruption_probability <= 0.0:
+            return entry
+        if self._rng.random() >= self.plan.metadata_corruption_probability:
+            return entry
+        self.counters.metadata_snapshots_corrupted += 1
+        photos = tuple(p for p in entry.photos if self._rng.random() >= 0.5)
+        return entry.degraded(photos=photos, age_s=self.plan.metadata_aging_s)

@@ -57,20 +57,67 @@ class DTNNode:
         self.prophet = ProphetTable(node_id, prophet_params)
         self.command_center_id = command_center_id
         self.scratch: Dict[str, Any] = {}
+        self._prophet_params = prophet_params
+        self._validity_threshold = validity_threshold
+        #: Liveness flag maintained by the simulator's fault layer; a down
+        #: node takes no photos and joins no contacts until it restarts.
+        self.alive = True
+        self.crash_count = 0
+        #: Optional :class:`~repro.dtn.faults.FaultInjector` the simulator
+        #: attaches; when set, outgoing metadata snapshots may be corrupted.
+        self.faults = None
+
+    def crash(
+        self,
+        surviving_photos: Optional[List[Photo]] = None,
+        wipe_protocol_state: bool = True,
+    ) -> None:
+        """Take the node down, keeping only *surviving_photos* in storage.
+
+        ``surviving_photos=None`` preserves the whole collection (a pure
+        outage).  *wipe_protocol_state* models a cold restart: the metadata
+        cache, inter-contact statistics, PROPHET table, and per-scheme
+        scratch state are all lost with the device.
+        """
+        self.alive = False
+        self.crash_count += 1
+        if surviving_photos is not None:
+            self.storage.replace_all(surviving_photos)
+        if wipe_protocol_state:
+            self.cache = MetadataCache(
+                owner_id=self.node_id,
+                command_center_id=self.command_center_id,
+                threshold=self._validity_threshold,
+            )
+            self.estimator = InterContactEstimator()
+            self.prophet = ProphetTable(self.node_id, self._prophet_params)
+            self.scratch = {}
+
+    def restart(self) -> None:
+        """Bring the node back up (storage/state as the crash left them)."""
+        self.alive = True
 
     def delivery_probability(self, now: float) -> float:
         """``p_i``: PROPHET predictability toward the command center."""
         return self.prophet.predictability(self.command_center_id, now)
 
     def snapshot_metadata(self, now: float) -> CacheEntry:
-        """This node's own metadata snapshot, for handing to a contact peer."""
-        return CacheEntry(
+        """This node's own metadata snapshot, for handing to a contact peer.
+
+        With a fault injector attached the snapshot may be corrupted in
+        flight (photos dropped, timestamp aged) -- the receiver's Eq. 1
+        validity check then re-validates the damaged entry.
+        """
+        entry = CacheEntry(
             node_id=self.node_id,
             photos=tuple(self.storage.photos()),
             aggregate_rate=self.estimator.aggregate_rate(),
             snapshot_time=now,
             delivery_probability=self.delivery_probability(now),
         )
+        if self.faults is not None:
+            entry = self.faults.maybe_corrupt_snapshot(entry)
+        return entry
 
     def record_contact(self, peer_id: int, now: float) -> None:
         """Update contact-history statistics (inter-contact estimator)."""

@@ -26,6 +26,7 @@ from ..routing.prophet import ProphetParameters
 from ..traces.model import ContactTrace
 from ..workload.photos import PhotoArrival
 from .events import Event, EventKind, EventQueue
+from .faults import FaultCounters, FaultInjector, FaultPlan
 from .node import COMMAND_CENTER_ID, CommandCenter, DTNNode
 
 __all__ = ["SimulationConfig", "SampleRecord", "SimulationResult", "Simulation"]
@@ -41,6 +42,10 @@ class SimulationConfig:
     ``unlimited_contacts=True`` removes the bandwidth constraint entirely
     (contacts always complete), which is how the long-duration baseline of
     Fig. 6 and the BestPossible scheme are configured.
+
+    ``fault_plan`` attaches the deterministic fault-injection layer (see
+    :mod:`repro.dtn.faults`); ``None`` or an all-zero plan leaves the
+    simulation byte-identical to the fault-free code path.
     """
 
     storage_bytes: Optional[int] = int(0.6 * GIGABYTE)
@@ -52,6 +57,7 @@ class SimulationConfig:
     prophet: ProphetParameters = ProphetParameters()
     sample_interval_s: float = 10.0 * 3600.0
     command_center_id: int = COMMAND_CENTER_ID
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.storage_bytes is not None and self.storage_bytes <= 0:
@@ -84,6 +90,7 @@ class SimulationResult:
     contacts_processed: int = 0
     center_contacts: int = 0
     delivery_latencies_s: List[float] = field(default_factory=list)
+    fault_counters: FaultCounters = field(default_factory=FaultCounters)
 
     @property
     def final_point_coverage(self) -> float:
@@ -147,13 +154,37 @@ class Simulation:
         self._end_time = end_time_s if end_time_s is not None else max(
             trace.end_time, max((a.time for a in photo_arrivals), default=0.0)
         )
+
+        self.result = SimulationResult(scheme=scheme.name)
+        self.faults: Optional[FaultInjector] = None
+        self._bandwidth_scale = 1.0
+        if config.fault_plan is not None and not config.fault_plan.is_zero:
+            self.faults = FaultInjector(config.fault_plan, self.result.fault_counters)
+            for node in self.nodes.values():
+                node.faults = self.faults
+
         for contact in trace:
+            start = contact.start
             duration = contact.duration
             if config.contact_duration_cap_s is not None:
                 duration = min(duration, config.contact_duration_cap_s)
-            self._queue.push(
-                Event(contact.start, EventKind.CONTACT, (contact.node_a, contact.node_b, duration))
-            )
+            if self.faults is None:
+                payload = (contact.node_a, contact.node_b, duration)
+            else:
+                perturbed = self.faults.perturb_contact(start, duration)
+                if perturbed is None:
+                    continue
+                start, duration, multiplier = perturbed
+                payload = (contact.node_a, contact.node_b, duration, multiplier)
+            self._queue.push(Event(start, EventKind.CONTACT, payload))
+        if self.faults is not None:
+            participant_ids = [
+                node_id for node_id in sorted(self.nodes) if node_id != config.command_center_id
+            ]
+            for crash in self.faults.crash_schedule(participant_ids, self._end_time):
+                self._queue.push(
+                    Event(crash.time, EventKind.NODE_CRASH, (crash.node_id, crash.restart_time))
+                )
         for arrival in photo_arrivals:
             self._queue.push(
                 Event(arrival.time, EventKind.PHOTO_CREATED, (arrival.owner_id, arrival.photo))
@@ -164,7 +195,6 @@ class Simulation:
             sample_time += config.sample_interval_s
         self._queue.push(Event(self._end_time, EventKind.END))
 
-        self.result = SimulationResult(scheme=scheme.name)
         self._now = 0.0
         scheme.bind(self)
 
@@ -173,10 +203,26 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def byte_budget(self, duration_s: float) -> Optional[int]:
-        """How many bytes fit in a contact of *duration_s* seconds."""
+        """How many bytes fit in a contact of *duration_s* seconds.
+
+        During a fault-injected contact the configured bandwidth is scaled
+        by that contact's jitter multiplier (1.0 without faults).
+        """
         if self.config.unlimited_contacts:
             return None
-        return int(duration_s * self.config.bandwidth_bytes_per_s)
+        return int(duration_s * self.config.bandwidth_bytes_per_s * self._bandwidth_scale)
+
+    def transfer_survives(self, photo: Optional[Photo] = None) -> bool:
+        """Whether one photo transmission arrives intact.
+
+        Routing schemes consult this per transmitted photo; a ``False``
+        means the bytes were spent but the photo arrived corrupted and must
+        be discarded.  Always ``True`` (with no randomness drawn) when no
+        fault plan is active.
+        """
+        if self.faults is None:
+            return True
+        return self.faults.transfer_survives()
 
     def deliver(self, photo: Photo) -> bool:
         """Hand *photo* to the command center; returns False on duplicate."""
@@ -199,6 +245,7 @@ class Simulation:
 
     def run(self) -> SimulationResult:
         cc_id = self.config.command_center_id
+        counters = self.result.fault_counters
         while self._queue:
             event = self._queue.pop()
             self._now = event.time
@@ -207,26 +254,61 @@ class Simulation:
                 node = self.nodes.get(owner_id)
                 if node is None:
                     continue
+                if not node.alive:
+                    counters.photos_missed_while_down += 1
+                    continue
                 self.result.created_photos += 1
                 self.scheme.on_photo_created(node, photo, event.time)
             elif event.kind == EventKind.CONTACT:
-                node_a_id, node_b_id, duration = event.payload
-                if cc_id in (node_a_id, node_b_id):
-                    participant_id = node_b_id if node_a_id == cc_id else node_a_id
-                    node = self.nodes.get(participant_id)
-                    if node is None:
+                node_a_id, node_b_id, duration = event.payload[:3]
+                self._bandwidth_scale = event.payload[3] if len(event.payload) > 3 else 1.0
+                try:
+                    if node_a_id == node_b_id:
+                        # A node never meets itself; tolerate malformed input.
                         continue
-                    self.result.center_contacts += 1
-                    self.scheme.on_command_center_contact(
-                        node, self.command_center, event.time, duration
-                    )
-                else:
-                    node_a = self.nodes.get(node_a_id)
-                    node_b = self.nodes.get(node_b_id)
-                    if node_a is None or node_b is None:
-                        continue
-                    self.result.contacts_processed += 1
-                    self.scheme.on_contact(node_a, node_b, event.time, duration)
+                    if cc_id in (node_a_id, node_b_id):
+                        participant_id = node_b_id if node_a_id == cc_id else node_a_id
+                        node = self.nodes.get(participant_id)
+                        if node is None:
+                            continue
+                        if not node.alive:
+                            counters.contacts_skipped_node_down += 1
+                            continue
+                        self.result.center_contacts += 1
+                        self.scheme.on_command_center_contact(
+                            node, self.command_center, event.time, duration
+                        )
+                    else:
+                        node_a = self.nodes.get(node_a_id)
+                        node_b = self.nodes.get(node_b_id)
+                        if node_a is None or node_b is None:
+                            continue
+                        if not node_a.alive or not node_b.alive:
+                            counters.contacts_skipped_node_down += 1
+                            continue
+                        self.result.contacts_processed += 1
+                        self.scheme.on_contact(node_a, node_b, event.time, duration)
+                finally:
+                    self._bandwidth_scale = 1.0
+            elif event.kind == EventKind.NODE_CRASH:
+                node_id, restart_time = event.payload
+                node = self.nodes.get(node_id)
+                if node is None or not node.alive:
+                    continue  # unknown node or already down: crash merges
+                assert self.faults is not None
+                survivors = self.faults.surviving_photos(node.storage.photos())
+                node.crash(
+                    surviving_photos=survivors,
+                    wipe_protocol_state=self.config.fault_plan.cache_loss_on_crash,
+                )
+                counters.crashes += 1
+                self._queue.push(Event(restart_time, EventKind.NODE_RESTART, node_id))
+            elif event.kind == EventKind.NODE_RESTART:
+                node = self.nodes.get(event.payload)
+                if node is None or node.alive:
+                    continue
+                node.restart()
+                counters.restarts += 1
             elif event.kind == EventKind.SAMPLE:
                 self._record_sample(event.time)
             elif event.kind == EventKind.END:

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 from ..core.poi import PoIList
+from ..dtn.faults import FaultPlan
 from ..dtn.simulator import GIGABYTE, MEGABYTE, SimulationConfig
 from ..routing.prophet import ProphetParameters
 from ..traces.model import ContactTrace
@@ -99,6 +100,11 @@ class ScenarioSpec:
     targeted_fraction: float = 0.0
     gateway_mean_interval_s: float = 7200.0
     gateway_mean_duration_s: float = 600.0
+    #: Disaster-scenario fault intensity in [0, 1]; builds a scaled
+    #: :class:`~repro.dtn.faults.FaultPlan` (0 = clean run).  An explicit
+    #: ``fault_plan`` overrides the intensity knob.
+    fault_intensity: float = 0.0
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.trace_name not in (TRACE_MIT, TRACE_CAMBRIDGE):
@@ -107,6 +113,8 @@ class ScenarioSpec:
             raise ValueError(f"scale must be in (0, 1], got {self.scale}")
         if self.photos_per_hour < 0.0:
             raise ValueError(f"photos_per_hour must be non-negative, got {self.photos_per_hour}")
+        if not 0.0 <= self.fault_intensity <= 1.0:
+            raise ValueError(f"fault_intensity must be in [0, 1], got {self.fault_intensity}")
 
     # ------------------------------------------------------------------
 
@@ -222,6 +230,13 @@ class ScenarioSpec:
             duration_s=duration_s,
             seed=self.seed + 4,
         )
+        fault_plan = self.fault_plan
+        if fault_plan is None and self.fault_intensity > 0.0:
+            # Seed offset 5 keeps the fault stream independent of the trace
+            # (seed), uplink (+1), PoI (+2), generator (+3) and schedule
+            # (+4) streams, so turning faults on never reshuffles the
+            # underlying scenario.
+            fault_plan = FaultPlan.scaled(self.fault_intensity, seed=self.seed + 5)
         config = SimulationConfig(
             storage_bytes=None if self.storage_gb is None else int(self.storage_gb * GIGABYTE),
             bandwidth_bytes_per_s=self.bandwidth_mb_per_s * MEGABYTE,
@@ -231,6 +246,7 @@ class ScenarioSpec:
             validity_threshold=self.settings.validity_threshold,
             prophet=self.settings.prophet_parameters(),
             sample_interval_s=self.sample_interval_hours * 3600.0,
+            fault_plan=fault_plan,
         )
         return Scenario(
             trace=trace,

@@ -100,6 +100,9 @@ def run_scenario(scenario: Scenario, scheme_name: str) -> SimulationResult:
             prophet=config.prophet,
             sample_interval_s=config.sample_interval_s,
             command_center_id=config.command_center_id,
+            # The bound still experiences contact-level faults (drops,
+            # delays, churn) -- only resource limits are lifted.
+            fault_plan=config.fault_plan,
         )
     simulation = Simulation(
         trace=scenario.trace,

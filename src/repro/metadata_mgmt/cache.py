@@ -57,6 +57,25 @@ class CacheEntry:
         elapsed = max(0.0, now - self.snapshot_time)
         return metadata_is_valid(self.aggregate_rate, elapsed, threshold)
 
+    def degraded(self, photos: Tuple[Photo, ...], age_s: float = 0.0) -> "CacheEntry":
+        """A corrupted copy of this entry: fewer photos, an older timestamp.
+
+        Fault injection uses this to model in-flight metadata damage; the
+        aged ``snapshot_time`` routes the entry into the Eq. 1 expiry path
+        (:meth:`is_valid_at` / :meth:`MetadataCache.purge_stale`) at the
+        receiver, so corrupted knowledge is re-validated and dropped
+        instead of silently trusted.
+        """
+        if age_s < 0.0:
+            raise ValueError(f"age_s must be non-negative, got {age_s}")
+        return CacheEntry(
+            node_id=self.node_id,
+            photos=photos,
+            aggregate_rate=self.aggregate_rate,
+            snapshot_time=self.snapshot_time - age_s,
+            delivery_probability=self.delivery_probability,
+        )
+
 
 class MetadataCache:
     """Cache of other nodes' metadata held by one node.

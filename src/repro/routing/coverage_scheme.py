@@ -151,6 +151,7 @@ class CoverageSelectionScheme(RoutingScheme):
                 node_b.node_id: node_b.storage.capacity_bytes,
             },
             byte_budget=self.sim.byte_budget(duration),
+            transfer_survives=self.sim.transfer_survives if self.sim.faults else None,
         )
         node_a.storage.replace_all(outcome.final_collections[node_a.node_id])
         node_b.storage.replace_all(outcome.final_collections[node_b.node_id])
@@ -223,6 +224,8 @@ class CoverageSelectionScheme(RoutingScheme):
             if budget is not None and used + photo.size_bytes > budget:
                 break
             used += photo.size_bytes
+            if not self.sim.transfer_survives(photo):
+                continue  # corrupted uplink: bytes spent, nothing delivered
             self.sim.deliver(photo)
             delivered.append(photo)
 

@@ -36,5 +36,7 @@ class DirectDeliveryScheme(RoutingScheme):
             if budget is not None and used + photo.size_bytes > budget:
                 break
             used += photo.size_bytes
+            if not self.sim.transfer_survives(photo):
+                continue  # failed uplink: retry at the next visit
             self.sim.deliver(photo)
             node.storage.remove(photo.photo_id)

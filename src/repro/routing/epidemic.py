@@ -41,8 +41,10 @@ class EpidemicScheme(RoutingScheme):
                 break
             if not receiver.storage.fits(photo):
                 continue
-            receiver.storage.add(photo)
             used += photo.size_bytes
+            if not self.sim.transfer_survives(photo):
+                continue  # corrupted in flight: bytes spent, copy lost
+            receiver.storage.add(photo)
         return used
 
     def on_command_center_contact(self, node, center, now: float, duration: float) -> None:
@@ -53,6 +55,8 @@ class EpidemicScheme(RoutingScheme):
             if budget is not None and used + photo.size_bytes > budget:
                 break
             used += photo.size_bytes
+            if not self.sim.transfer_survives(photo):
+                continue
             self.sim.deliver(photo)
             # Epidemic keeps its copy: other replicas exist anyway and the
             # protocol has no acknowledgment channel.

@@ -102,6 +102,9 @@ class PhotoNetScheme(RoutingScheme):
             if budget is not None and used + best.size_bytes > budget:
                 break
             candidates.remove(best)
+            if not self.sim.transfer_survives(best):
+                used += best.size_bytes
+                continue  # corrupted in flight: bytes spent, photo lost
             if self._accept(receiver, best):
                 used += best.size_bytes
         return used
@@ -158,4 +161,6 @@ class PhotoNetScheme(RoutingScheme):
                 break
             candidates.remove(best)
             used += best.size_bytes
+            if not self.sim.transfer_survives(best):
+                continue
             self.sim.deliver(best)

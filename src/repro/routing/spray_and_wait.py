@@ -65,6 +65,9 @@ class SprayAndWaitScheme(RoutingScheme):
                 continue
             if budget is not None and used + photo.size_bytes > budget:
                 break
+            if not self.sim.transfer_survives(photo):
+                used += photo.size_bytes
+                continue  # corrupted in flight: bytes spent, copies stay put
             if not self.accept(receiver, photo):
                 continue
             used += photo.size_bytes
@@ -84,6 +87,8 @@ class SprayAndWaitScheme(RoutingScheme):
             if budget is not None and used + photo.size_bytes > budget:
                 break
             used += photo.size_bytes
+            if not self.sim.transfer_survives(photo):
+                continue  # failed uplink: the node keeps its copy
             self.sim.deliver(photo)
             # Delivery completes the bundle; the node releases its copies.
             node.storage.remove(photo.photo_id)

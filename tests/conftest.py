@@ -3,14 +3,23 @@
 from __future__ import annotations
 
 import math
+import os
 
 import pytest
+from hypothesis import settings
 
 from repro.core.coverage_index import CoverageIndex
 from repro.core.geometry import Point
 from repro.core.poi import PoI, PoIList
 
 from helpers import MB, make_photo, photo_at_aspect  # noqa: F401 (re-export)
+
+# Hypothesis profiles: "ci" is pinned (derandomized, fixed example budget)
+# so CI runs are deterministic across Python versions; "dev" keeps the
+# default randomized exploration locally.  Select with HYPOTHESIS_PROFILE.
+settings.register_profile("ci", max_examples=60, deadline=None, derandomize=True)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -116,6 +116,85 @@ class TestIndividualCoverage:
         assert value.aspect == 0.0
 
 
+class TestSimulatorEdgeInputs:
+    """Degenerate simulation inputs the event loop must tolerate."""
+
+    def sim(self, contacts, arrivals, scheme=None):
+        from repro.dtn.simulator import Simulation, SimulationConfig
+        from repro.traces.model import ContactRecord, ContactTrace
+
+        return Simulation(
+            trace=ContactTrace([ContactRecord(*c) for c in contacts]),
+            pois=PoIList([PoI(location=Point(0.0, 0.0))]),
+            photo_arrivals=arrivals,
+            scheme=scheme or CoverageSelectionScheme(),
+            config=SimulationConfig(
+                storage_bytes=10 * PHOTO,
+                bandwidth_bytes_per_s=2 * MB,
+                effective_angle=THETA,
+                sample_interval_s=100.0,
+            ),
+        )
+
+    def test_zero_duration_contact_moves_no_bytes(self):
+        from repro.workload.photos import PhotoArrival
+
+        photo = photo_at_aspect(Point(0.0, 0.0), 0.0)
+        sim = self.sim(
+            contacts=[(100.0, 1, 2, 0.0), (200.0, 0, 1, 0.0)],
+            arrivals=[PhotoArrival(0.0, 1, photo)],
+        )
+        result = sim.run()
+        # Both contacts dispatch (they are real scan events) but a zero
+        # byte budget forbids any transfer or delivery.
+        assert result.contacts_processed == 1
+        assert result.center_contacts == 1
+        assert result.delivered_photos == 0
+        assert photo.photo_id in sim.nodes[1].storage
+        assert photo.photo_id not in sim.nodes[2].storage
+
+    def test_self_contact_event_is_ignored(self):
+        from repro.dtn.events import Event, EventKind
+
+        sim = self.sim(contacts=[(50.0, 1, 2, 10.0)], arrivals=[])
+        # ContactRecord rejects self-contacts at construction, but a faulty
+        # trace loader (or a delayed/reordered fault event) could still
+        # enqueue one; the event loop must skip it rather than crash.
+        sim._queue.push(Event(10.0, EventKind.CONTACT, (1, 1, 60.0)))
+        sim._queue.push(Event(20.0, EventKind.CONTACT, (0, 0, 60.0)))
+        result = sim.run()
+        assert result.contacts_processed == 1  # only the genuine contact
+        assert result.center_contacts == 0
+
+    def test_empty_photo_pool_runs_to_completion(self):
+        sim = self.sim(
+            contacts=[(100.0, 1, 2, 60.0), (200.0, 0, 1, 60.0)],
+            arrivals=[],
+        )
+        result = sim.run()
+        assert result.created_photos == 0
+        assert result.delivered_photos == 0
+        assert result.contacts_processed == 1
+        assert result.center_contacts == 1
+        assert result.samples
+        assert all(s.point_coverage == 0.0 for s in result.samples)
+
+    def test_empty_trace_and_no_photos(self):
+        from repro.dtn.simulator import Simulation, SimulationConfig
+        from repro.traces.model import ContactTrace
+
+        sim = Simulation(
+            trace=ContactTrace([]),
+            pois=PoIList([PoI(location=Point(0.0, 0.0))]),
+            photo_arrivals=[],
+            scheme=CoverageSelectionScheme(),
+            config=SimulationConfig(sample_interval_s=100.0),
+        )
+        result = sim.run()
+        assert result.delivered_photos == 0
+        assert result.samples  # the END event still records a sample
+
+
 class TestMiscConstruction:
     def test_no_metadata_factory(self):
         scheme = NoMetadataScheme()

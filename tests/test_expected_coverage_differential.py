@@ -1,0 +1,115 @@
+"""Differential sweep: the three expected-coverage evaluators must agree.
+
+``expected_coverage`` (the exact polynomial endpoint sweep) is the
+production path; ``expected_coverage_enumerated`` is Definition 2 executed
+literally over all 2^m delivery outcomes; ``expected_coverage_sampled`` is
+the Monte-Carlo cross-check.  On randomized node profiles up to m = 8 the
+three must agree within documented tolerances:
+
+* sweep vs enumeration: floating-point tolerance (both are exact; they
+  differ only in summation order), 1e-9 relative / 1e-12 absolute.
+* sweep vs sampling: statistical tolerance.  Each PoI's point indicator is
+  a Bernoulli mean over N common-random-number samples, so the standard
+  error per PoI is at most 0.5/sqrt(N); with N = 4000 and 3 PoIs a 6-sigma
+  band is ~0.14 in summed point coverage (aspect scales by 2*pi).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coverage_index import CoverageIndex
+from repro.core.expected_coverage import (
+    build_node_profile,
+    expected_coverage,
+    expected_coverage_enumerated,
+    expected_coverage_sampled,
+)
+from repro.core.geometry import Point
+from repro.core.poi import PoIList
+
+from helpers import photo_at_aspect
+
+THETA = math.radians(30.0)
+
+POIS = [Point(0.0, 0.0), Point(500.0, 0.0), Point(0.0, 500.0)]
+
+
+def _index() -> CoverageIndex:
+    return CoverageIndex(PoIList.from_points(POIS), effective_angle=THETA)
+
+
+def _random_profiles(rng: random.Random, index: CoverageIndex, num_nodes: int):
+    """Node profiles with random collections and delivery probabilities."""
+    profiles = []
+    for node_id in range(1, num_nodes + 1):
+        photos = []
+        for _ in range(rng.randint(0, 4)):
+            poi = rng.choice(POIS)
+            photos.append(photo_at_aspect(poi, rng.uniform(0.0, 360.0)))
+        # Mix in the occasional certain node (the command center case) and
+        # the occasional zero-probability node (pruned by every evaluator).
+        roll = rng.random()
+        if roll < 0.1:
+            probability = 1.0
+        elif roll < 0.2:
+            probability = 0.0
+        else:
+            probability = rng.uniform(0.05, 0.95)
+        profiles.append(build_node_profile(index, node_id, photos, probability))
+    return profiles
+
+
+class TestSweepAgainstEnumeration:
+    @given(seed=st.integers(min_value=0, max_value=10_000), m=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=120, deadline=None)
+    def test_polynomial_sweep_matches_definition_2(self, seed, m):
+        index = _index()
+        profiles = _random_profiles(random.Random(seed), index, m)
+        exact = expected_coverage(index, profiles)
+        enumerated = expected_coverage_enumerated(index, profiles)
+        assert exact.point == pytest.approx(enumerated.point, rel=1e-9, abs=1e-12)
+        assert exact.aspect == pytest.approx(enumerated.aspect, rel=1e-9, abs=1e-12)
+
+
+class TestSweepAgainstSampling:
+    #: 6-sigma statistical band for N=4000 samples over 3 unit-weight PoIs.
+    POINT_TOLERANCE = 0.15
+    ASPECT_TOLERANCE = 0.15 * 2.0 * math.pi
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("m", [1, 4, 8])
+    def test_monte_carlo_within_statistical_tolerance(self, seed, m):
+        index = _index()
+        profiles = _random_profiles(random.Random(100 + seed), index, m)
+        exact = expected_coverage(index, profiles)
+        sampled = expected_coverage_sampled(index, profiles, samples=4000, seed=0)
+        assert sampled.point == pytest.approx(exact.point, abs=self.POINT_TOLERANCE)
+        assert sampled.aspect == pytest.approx(exact.aspect, abs=self.ASPECT_TOLERANCE)
+
+
+class TestEvaluatorEdgeAgreement:
+    def test_all_three_agree_on_empty_profile_set(self):
+        index = _index()
+        assert expected_coverage(index, []).point == 0.0
+        assert expected_coverage_enumerated(index, []).point == 0.0
+        assert expected_coverage_sampled(index, [], samples=10).point == 0.0
+
+    def test_all_three_agree_on_certain_nodes_only(self):
+        index = _index()
+        rng = random.Random(42)
+        photos = [photo_at_aspect(POIS[0], rng.uniform(0.0, 360.0)) for _ in range(3)]
+        profiles = [build_node_profile(index, 1, photos, 1.0)]
+        exact = expected_coverage(index, profiles)
+        enumerated = expected_coverage_enumerated(index, profiles)
+        sampled = expected_coverage_sampled(index, profiles, samples=1)
+        # A certain node makes all three evaluators deterministic and equal.
+        assert exact.point == pytest.approx(enumerated.point, rel=1e-12)
+        assert exact.point == pytest.approx(sampled.point, rel=1e-12)
+        assert exact.aspect == pytest.approx(enumerated.aspect, rel=1e-9)
+        assert exact.aspect == pytest.approx(sampled.aspect, rel=1e-9)

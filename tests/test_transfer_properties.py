@@ -123,3 +123,79 @@ def _skips(plan, outcome) -> int:
         if id(transfer) not in completed_ids:
             count += 1
     return count
+
+
+class TestTruncationPrefixProperty:
+    """Section III-D's robustness claim, stated as a property: whatever the
+    truncation point, the photos that moved are exactly the selection-order
+    prefix of the plan that fits the byte budget."""
+
+    @given(case=transfer_cases())
+    @settings(max_examples=150, deadline=None)
+    def test_delivered_prefix_is_selection_order_prefix(self, case):
+        holdings_a, holdings_b, target_a, target_b, *_ = case
+        result = ReallocationResult(
+            first=NodeSelection(node_id=1, photos=target_a),
+            second=NodeSelection(node_id=2, photos=target_b),
+        )
+        holdings = {1: holdings_a, 2: holdings_b}
+        plan = build_transfer_plan(result, holdings)
+        # Generous capacities isolate truncation from capacity skips.
+        capacities = {1: 64 * PHOTO, 2: 64 * PHOTO}
+
+        for budget in range(0, plan.total_bytes + PHOTO, PHOTO // 2):
+            outcome = execute_transfer_plan(
+                plan, result, holdings, capacities=capacities, byte_budget=budget
+            )
+            # The exact prefix that fits the budget, in plan order.
+            expected, used = [], 0
+            for transfer in plan:
+                if used + transfer.photo.size_bytes > budget:
+                    break
+                expected.append(transfer)
+                used += transfer.photo.size_bytes
+            assert outcome.completed_transfers == expected
+            assert outcome.bytes_used == used <= budget
+            assert outcome.truncated == (len(expected) < len(plan))
+
+    @given(case=transfer_cases(), drop_mask=st.lists(st.booleans(), min_size=32, max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_lossy_transfers_spend_budget_but_store_nothing(self, case, drop_mask):
+        """With a fault-injection loss filter, dropped photos consume bytes
+        (the transmission happened) but never appear in any collection."""
+        holdings_a, holdings_b, target_a, target_b, cap_a, cap_b, budget = case
+        result = ReallocationResult(
+            first=NodeSelection(node_id=1, photos=target_a),
+            second=NodeSelection(node_id=2, photos=target_b),
+        )
+        holdings = {1: holdings_a, 2: holdings_b}
+        plan = build_transfer_plan(result, holdings)
+
+        draws = iter(drop_mask)
+
+        def survives(photo):
+            return not next(draws)
+
+        outcome = execute_transfer_plan(
+            plan, result, holdings,
+            capacities={1: cap_a, 2: cap_b},
+            byte_budget=budget,
+            transfer_survives=survives,
+        )
+        if budget is not None:
+            assert outcome.bytes_used <= budget
+        assert outcome.bytes_used == sum(
+            t.photo.size_bytes
+            for t in outcome.completed_transfers + outcome.dropped_transfers
+        )
+        dropped_ids = {t.photo.photo_id for t in outcome.dropped_transfers}
+        completed_ids = {t.photo.photo_id for t in outcome.completed_transfers}
+        # A photo either arrived or was dropped, never both.
+        assert not dropped_ids & completed_ids
+        # A dropped photo never materializes at its receiver (the plan only
+        # schedules photos the receiver lacks, so absence proves the drop).
+        for transfer in outcome.dropped_transfers:
+            receiver_ids = {
+                p.photo_id for p in outcome.final_collections[transfer.receiver_id]
+            }
+            assert transfer.photo.photo_id not in receiver_ids
