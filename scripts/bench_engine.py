@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Benchmark the experiment engine: serial vs parallel wall-clock time.
+
+Runs the same multi-seed scheme comparison twice through
+:class:`repro.experiments.engine.ExperimentEngine` -- once with
+``workers=1`` (in-process serial) and once with ``workers=N``
+(process-pool fan-out) -- with the result cache disabled on both legs so
+each leg does the full amount of work.  Verifies the two legs produce
+identical averaged results, then writes a JSON summary to
+``BENCH_engine.json``.
+
+The recorded ``cpu_count`` matters when reading the numbers: on a
+single-core box the parallel leg cannot be faster than serial (it pays
+process spawn and pickling overhead for no extra compute), so speedup
+below 1.0 there is expected, not a bug.
+
+Run:  python scripts/bench_engine.py [--scale 0.2] [--runs 4] [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.persistence import averaged_to_dict
+from repro.experiments.runner import PAPER_SCHEMES
+from repro.experiments import fig5
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _time_leg(workers: int, spec, schemes, num_runs: int):
+    engine = ExperimentEngine(workers=workers, cache=None)
+    started = time.perf_counter()
+    results = engine.run_comparison(spec, schemes, num_runs=num_runs)
+    elapsed = time.perf_counter() - started
+    return elapsed, results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--runs", type=int, default=4, help="seeds per scheme")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+
+    spec = fig5.spec(scale=args.scale, seed=args.seed)
+    schemes = PAPER_SCHEMES
+    units = len(schemes) * args.runs
+    print(
+        f"benchmarking {len(schemes)} schemes x {args.runs} seeds "
+        f"({units} units) at scale={args.scale} on {os.cpu_count()} CPU(s)"
+    )
+
+    serial_s, serial_results = _time_leg(1, spec, schemes, args.runs)
+    print(f"serial   (workers=1): {serial_s:.2f}s")
+    parallel_s, parallel_results = _time_leg(args.workers, spec, schemes, args.runs)
+    print(f"parallel (workers={args.workers}): {parallel_s:.2f}s")
+
+    identical = {
+        name: averaged_to_dict(result) for name, result in serial_results.items()
+    } == {name: averaged_to_dict(result) for name, result in parallel_results.items()}
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"speedup: {speedup:.2f}x, identical results: {identical}")
+    if not identical:
+        raise SystemExit("FAIL: parallel results differ from serial")
+
+    payload = {
+        "scale": args.scale,
+        "runs": args.runs,
+        "workers": args.workers,
+        "seed": args.seed,
+        "schemes": list(schemes),
+        "units": units,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "identical": identical,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,7 @@ import argparse
 import time
 from pathlib import Path
 
+from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine, ResultCache
 from repro.experiments.generate_all import generate_all
 
 RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
@@ -24,7 +25,15 @@ def main() -> None:
     parser.add_argument("--scale", type=float, default=0.35)
     parser.add_argument("--runs", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--cache-dir", type=Path, default=None)
+    parser.add_argument("--no-cache", action="store_true")
     args = parser.parse_args()
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    engine = ExperimentEngine(workers=args.workers, cache=cache)
 
     started = time.time()
     generate_all(
@@ -33,6 +42,7 @@ def main() -> None:
         seed=args.seed,
         output_dir=RESULTS,
         progress=lambda message: print(f"{message} ...", flush=True),
+        engine=engine,
     )
     print(f"done in {time.time() - started:.0f}s")
 

@@ -11,6 +11,12 @@ Installed as the ``repro`` console script::
 
 Every command prints the same text tables the benchmark harness writes to
 ``benchmarks/results/``.
+
+Comparison commands accept engine flags: ``--workers N`` fans the run
+units out over N worker processes (results are identical to serial),
+``--cache-dir PATH`` relocates the content-addressed result cache, and
+``--no-cache`` disables it (see ``docs/ENGINE.md``).  Per-unit progress
+goes to stderr so piped stdout stays clean.
 """
 
 from __future__ import annotations
@@ -27,6 +33,53 @@ from .traces.graph import graph_summary
 from .traces.synthetic import cambridge06_like, mit_reality_like
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_engine_flags(cmd: argparse.ArgumentParser) -> None:
+    """Engine knobs shared by every comparison-running command."""
+    from .experiments.engine import DEFAULT_CACHE_DIR
+
+    cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for run units (1 = in-process serial; "
+        "parallel output is identical to serial)",
+    )
+    cmd.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help=f"content-addressed result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run every unit fresh; do not read or write the result cache",
+    )
+
+
+def _engine_from_args(args: argparse.Namespace):
+    """Build the ExperimentEngine the engine flags describe."""
+    from .experiments.engine import (
+        DEFAULT_CACHE_DIR,
+        ExperimentEngine,
+        ResultCache,
+        UnitProgress,
+    )
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir else DEFAULT_CACHE_DIR)
+
+    def progress(update: UnitProgress) -> None:
+        status = "cache" if update.cached else f"{update.duration_s:.1f}s"
+        print(
+            f"  [{update.completed}/{update.total}] {update.unit.describe()} ({status})",
+            file=sys.stderr,
+        )
+
+    return ExperimentEngine(workers=args.workers, cache=cache, progress=progress)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--scale", type=float, default=0.2, help="scenario scale (0, 1]")
         cmd.add_argument("--runs", type=int, default=1, help="seed-varied repetitions")
         cmd.add_argument("--seed", type=int, default=0)
+        _add_engine_flags(cmd)
         if name in ("fig5", "fig6"):
             cmd.add_argument(
                 "--chart", action="store_true", help="also render a text chart"
@@ -91,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="I",
         help="fault intensities in [0, 1] to sweep (default: 0 .25 .5 .75 1)",
     )
+    _add_engine_flags(robustness)
 
     centralized = sub.add_parser(
         "centralized", help="DTN selection vs a connected server (SmartPhoto setting)"
@@ -120,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--scale", type=float, default=0.2)
     ablation.add_argument("--runs", type=int, default=1)
     ablation.add_argument("--seed", type=int, default=0)
+    _add_engine_flags(ablation)
 
     return parser
 
@@ -167,14 +223,15 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
     common = dict(scale=args.scale, num_runs=args.runs, seed=args.seed)
+    engine_common = dict(common, engine=_engine_from_args(args))
     if args.study == "pthld":
-        print(format_comparison(ablations.sweep_validity_threshold(**common),
+        print(format_comparison(ablations.sweep_validity_threshold(**engine_common),
                                 title="Eq. 1 validity threshold sweep"))
     elif args.study == "theta":
-        print(format_comparison(ablations.sweep_effective_angle(**common),
+        print(format_comparison(ablations.sweep_effective_angle(**engine_common),
                                 title="effective angle sweep"))
     elif args.study == "floor":
-        print(format_comparison(ablations.sweep_probability_floor(**common),
+        print(format_comparison(ablations.sweep_probability_floor(**engine_common),
                                 title="cold-start probability floor sweep"))
     elif args.study == "churn":
         print(format_comparison(ablations.sweep_churn(**common),
@@ -223,7 +280,8 @@ def _dispatch(args: argparse.Namespace) -> int:
 
         intensities = args.intensities if args.intensities else DEFAULT_INTENSITIES
         outcome = run_robustness_study(
-            scale=args.scale, num_runs=args.runs, seed=args.seed, intensities=intensities
+            scale=args.scale, num_runs=args.runs, seed=args.seed,
+            intensities=intensities, engine=_engine_from_args(args),
         )
         print(robustness_report(outcome))
         return 0
@@ -288,7 +346,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_ablation(args)
 
     if args.command == "fig5":
-        results = fig5.run(scale=args.scale, num_runs=args.runs, seed=args.seed)
+        results = fig5.run(scale=args.scale, num_runs=args.runs, seed=args.seed,
+                           engine=_engine_from_args(args))
         print(fig5.report(results))
         if args.chart:
             from .experiments.asciiplot import line_chart
@@ -297,7 +356,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             print("\npoint coverage vs time:")
             print(line_chart(series))
     elif args.command == "fig6":
-        results = fig6.run(scale=args.scale, num_runs=args.runs, seed=args.seed)
+        results = fig6.run(scale=args.scale, num_runs=args.runs, seed=args.seed,
+                           engine=_engine_from_args(args))
         print(fig6.report(results))
         if args.chart:
             from .experiments.asciiplot import line_chart
@@ -307,11 +367,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(line_chart(series))
     elif args.command == "fig7":
         sweep = fig7.run(trace_name=args.trace, scale=args.scale,
-                         num_runs=args.runs, seed=args.seed)
+                         num_runs=args.runs, seed=args.seed,
+                         engine=_engine_from_args(args))
         print(fig7.report(sweep, trace_name=args.trace))
     elif args.command == "fig8":
         sweep = fig8.run(trace_name=args.trace, scale=args.scale,
-                         num_runs=args.runs, seed=args.seed)
+                         num_runs=args.runs, seed=args.seed,
+                         engine=_engine_from_args(args))
         print(fig8.report(sweep, trace_name=args.trace))
     return 0
 

@@ -14,6 +14,15 @@ from . import (
     weighted_study,
 )
 from .generate_all import generate_all
+from .engine import (
+    ExperimentEngine,
+    ResultCache,
+    RunPlan,
+    RunUnit,
+    UnitOutcome,
+    UnitProgress,
+    default_engine,
+)
 from .asciiplot import histogram, line_chart, sparkline
 from .persistence import load_comparison, save_comparison
 from .config import TRACE_CAMBRIDGE, TRACE_MIT, Scenario, ScenarioSpec, TableISettings
@@ -35,6 +44,13 @@ __all__ = [
     "latency_study",
     "sensitivity",
     "generate_all",
+    "ExperimentEngine",
+    "ResultCache",
+    "RunPlan",
+    "RunUnit",
+    "UnitOutcome",
+    "UnitProgress",
+    "default_engine",
     "histogram",
     "line_chart",
     "sparkline",

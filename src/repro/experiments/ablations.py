@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from ..core.coverage_index import CoverageIndex
 from ..core.expected_coverage import (
@@ -25,14 +25,15 @@ from ..core.expected_coverage import (
     expected_coverage,
     expected_coverage_sampled,
 )
-from ..dtn.simulator import Simulation
-from ..routing.coverage_scheme import CoverageSelectionScheme
 from ..traces.graph import GATEWAY_STRATEGIES
 from ..traces.synthetic import gateway_uplink_contacts
 from ..workload.photos import PhotoGenerator, PhotoGeneratorSpec
 from ..workload.pois import random_pois
 from .config import ScenarioSpec, TableISettings
 from .runner import AveragedResult, average_results, run_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ExperimentEngine
 
 __all__ = [
     "sweep_validity_threshold",
@@ -44,12 +45,19 @@ __all__ = [
 ]
 
 
-def _run_averaged(spec: ScenarioSpec, scheme_name: str, num_runs: int) -> AveragedResult:
-    results = []
-    for run in range(num_runs):
-        scenario = spec.with_seed(spec.seed + 1000 * run).build()
-        results.append(run_scenario(scenario, scheme_name))
-    return average_results(results)
+def _engine(engine: Optional["ExperimentEngine"]) -> "ExperimentEngine":
+    from .engine import default_engine
+
+    return engine or default_engine()
+
+
+def _run_averaged(
+    spec: ScenarioSpec,
+    scheme_name: str,
+    num_runs: int,
+    engine: Optional["ExperimentEngine"] = None,
+) -> AveragedResult:
+    return _engine(engine).run_comparison(spec, (scheme_name,), num_runs)[scheme_name]
 
 
 def sweep_validity_threshold(
@@ -57,18 +65,20 @@ def sweep_validity_threshold(
     scale: float = 0.2,
     num_runs: int = 1,
     seed: int = 0,
+    engine: Optional["ExperimentEngine"] = None,
 ) -> Dict[str, AveragedResult]:
     """Our scheme under different Eq. 1 thresholds ``P_thld``.
 
     Low thresholds purge cached metadata aggressively (toward NoMetadata);
     high thresholds trust stale snapshots.  Table I's 0.8 sits between.
     """
-    results: Dict[str, AveragedResult] = {}
+    jobs = []
     for threshold in thresholds:
         settings = dataclasses.replace(TableISettings(), validity_threshold=threshold)
         spec = ScenarioSpec(scale=scale, seed=seed, settings=settings)
-        results[f"P_thld={threshold}"] = _run_averaged(spec, "our-scheme", num_runs)
-    return results
+        jobs.append((f"P_thld={threshold}", spec, ("our-scheme",)))
+    grouped = _engine(engine).run_jobs(jobs, num_runs=num_runs)
+    return {label: per_scheme["our-scheme"] for label, per_scheme in grouped.items()}
 
 
 def sweep_effective_angle(
@@ -76,6 +86,7 @@ def sweep_effective_angle(
     scale: float = 0.2,
     num_runs: int = 1,
     seed: int = 0,
+    engine: Optional["ExperimentEngine"] = None,
 ) -> Dict[str, AveragedResult]:
     """Our scheme under different effective angles ``theta``.
 
@@ -85,12 +96,13 @@ def sweep_effective_angle(
     comparable across theta values; the sweep reports it anyway along with
     the delivered count, which is the comparable column.
     """
-    results: Dict[str, AveragedResult] = {}
+    jobs = []
     for angle in angles_deg:
         settings = dataclasses.replace(TableISettings(), effective_angle_deg=angle)
         spec = ScenarioSpec(scale=scale, seed=seed, settings=settings)
-        results[f"theta={angle:.0f}deg"] = _run_averaged(spec, "our-scheme", num_runs)
-    return results
+        jobs.append((f"theta={angle:.0f}deg", spec, ("our-scheme",)))
+    grouped = _engine(engine).run_jobs(jobs, num_runs=num_runs)
+    return {label: per_scheme["our-scheme"] for label, per_scheme in grouped.items()}
 
 
 def sweep_probability_floor(
@@ -98,32 +110,28 @@ def sweep_probability_floor(
     scale: float = 0.2,
     num_runs: int = 1,
     seed: int = 0,
+    engine: Optional["ExperimentEngine"] = None,
 ) -> Dict[str, AveragedResult]:
     """The cold-start delivery-probability floor this implementation adds.
 
     Floor 0 reproduces the paper verbatim (nodes with PROPHET probability
     exactly 0 see zero expected gain everywhere); small floors keep early
     contacts productive; large floors wash out the probability signal.
+    The floors run as parameterized registry variants
+    (``our-scheme:min_delivery_probability=...``), so they are ordinary
+    cacheable run units.
     """
-    results: Dict[str, AveragedResult] = {}
-    for floor in floors:
-        spec = ScenarioSpec(scale=scale, seed=seed)
-        run_results = []
-        for run in range(num_runs):
-            scenario = spec.with_seed(seed + 1000 * run).build()
-            scheme = CoverageSelectionScheme(min_delivery_probability=floor)
-            simulation = Simulation(
-                trace=scenario.trace,
-                pois=scenario.pois,
-                photo_arrivals=scenario.photo_arrivals,
-                scheme=scheme,
-                config=scenario.config,
-                gateway_ids=scenario.gateway_ids,
-                end_time_s=scenario.end_time_s,
-            )
-            run_results.append(simulation.run())
-        results[f"floor={floor}"] = average_results(run_results)
-    return results
+    spec = ScenarioSpec(scale=scale, seed=seed)
+    jobs = [
+        (
+            f"floor={floor}",
+            spec,
+            (f"our-scheme:min_delivery_probability={floor!r}",),
+        )
+        for floor in floors
+    ]
+    grouped = _engine(engine).run_jobs(jobs, num_runs=num_runs)
+    return {label: next(iter(per_scheme.values())) for label, per_scheme in grouped.items()}
 
 
 def sweep_churn(
@@ -140,6 +148,10 @@ def sweep_churn(
     the target availability); 1.0 disables churn.  Real Bluetooth traces
     embed churn already -- the synthetic generators do not, so this sweep
     shows how much intermittent participation costs.
+
+    Stays on the serial :func:`run_scenario` path: the churned trace is a
+    post-build mutation of the scenario, so these runs are not expressible
+    as spec-addressed engine units.
     """
     from ..traces.churn import ChurnModel, apply_churn
 
@@ -172,7 +184,9 @@ def compare_gateway_strategies(
     """Gateway placement: the paper's random pick vs. centrality-driven.
 
     The participant trace and workload stay fixed; only which nodes get
-    uplink contacts changes.
+    uplink contacts changes.  Stays on the serial :func:`run_scenario`
+    path: the rebuilt uplinks are a post-build mutation of the scenario,
+    so these runs are not expressible as spec-addressed engine units.
     """
     results: Dict[str, AveragedResult] = {}
     for strategy_name in strategies:

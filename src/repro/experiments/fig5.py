@@ -10,11 +10,14 @@ coverage than ours at 150 h).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from .config import TRACE_MIT, ScenarioSpec
 from .report import format_comparison, format_series
 from .runner import PAPER_SCHEMES, AveragedResult, run_comparison
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ExperimentEngine
 
 __all__ = ["spec", "run", "report"]
 
@@ -35,9 +38,12 @@ def run(
     num_runs: int = 1,
     seed: int = 0,
     schemes: Sequence[str] = PAPER_SCHEMES,
+    engine: Optional["ExperimentEngine"] = None,
 ) -> Dict[str, AveragedResult]:
     """Run the Fig. 5 comparison and return per-scheme averaged results."""
-    return run_comparison(spec(scale=scale, seed=seed), schemes, num_runs=num_runs)
+    return run_comparison(
+        spec(scale=scale, seed=seed), schemes, num_runs=num_runs, engine=engine
+    )
 
 
 def report(results: Dict[str, AveragedResult]) -> str:

@@ -9,11 +9,14 @@ ModifiedSpray-with-10-minutes level (included as the reference curve).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from .config import TRACE_MIT, ScenarioSpec
 from .report import format_comparison
-from .runner import AveragedResult, run_comparison
+from .runner import AveragedResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ExperimentEngine
 
 __all__ = ["CONTACT_CAPS_S", "spec", "run", "report"]
 
@@ -39,22 +42,28 @@ def run(
     num_runs: int = 1,
     seed: int = 0,
     caps: Sequence[float] = CONTACT_CAPS_S,
+    engine: Optional["ExperimentEngine"] = None,
 ) -> Dict[str, AveragedResult]:
     """Run our scheme per duration cap, plus the ModifiedSpray reference.
 
-    Keys are ``ours@<cap>s`` and ``modified-spray@600s``.
+    Keys are ``ours@<cap>s`` and ``modified-spray@600s``.  All caps run as
+    one plan, so a parallel engine spreads work across conditions too.
     """
-    results: Dict[str, AveragedResult] = {}
-    for cap in caps:
-        outcome = run_comparison(
-            spec(cap, scale=scale, seed=seed), ("our-scheme",), num_runs=num_runs
+    from .engine import default_engine
+
+    jobs = [
+        (f"ours@{cap:.0f}s", spec(cap, scale=scale, seed=seed), ("our-scheme",))
+        for cap in caps
+    ]
+    jobs.append(
+        (
+            f"modified-spray@{caps[0]:.0f}s",
+            spec(caps[0], scale=scale, seed=seed),
+            ("modified-spray",),
         )
-        results[f"ours@{cap:.0f}s"] = outcome["our-scheme"]
-    reference = run_comparison(
-        spec(caps[0], scale=scale, seed=seed), ("modified-spray",), num_runs=num_runs
     )
-    results[f"modified-spray@{caps[0]:.0f}s"] = reference["modified-spray"]
-    return results
+    grouped = (engine or default_engine()).run_jobs(jobs, num_runs=num_runs)
+    return {label: next(iter(per_scheme.values())) for label, per_scheme in grouped.items()}
 
 
 def report(results: Dict[str, AveragedResult]) -> str:

@@ -12,11 +12,14 @@ baselines.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from .config import TRACE_MIT, ScenarioSpec
 from .report import format_sweep
-from .runner import AveragedResult, run_comparison
+from .runner import AveragedResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ExperimentEngine
 
 __all__ = ["STORAGE_SWEEP_GB", "SWEEP_SCHEMES", "spec", "run", "report"]
 
@@ -55,13 +58,24 @@ def run(
     seed: int = 0,
     storage_values: Sequence[float] = STORAGE_SWEEP_GB,
     schemes: Sequence[str] = SWEEP_SCHEMES,
+    engine: Optional["ExperimentEngine"] = None,
 ) -> Dict[str, Dict[str, AveragedResult]]:
-    """Sweep storage; returns ``{storage_label: {scheme: result}}``."""
-    sweep: Dict[str, Dict[str, AveragedResult]] = {}
-    for storage_gb in storage_values:
-        condition = spec(storage_gb, trace_name=trace_name, scale=scale, seed=seed)
-        sweep[f"{storage_gb:.1f}GB"] = run_comparison(condition, schemes, num_runs=num_runs)
-    return sweep
+    """Sweep storage; returns ``{storage_label: {scheme: result}}``.
+
+    The whole sweep executes as one run plan, so a parallel engine fans
+    out across storage values as well as seeds and schemes.
+    """
+    from .engine import default_engine
+
+    jobs = [
+        (
+            f"{storage_gb:.1f}GB",
+            spec(storage_gb, trace_name=trace_name, scale=scale, seed=seed),
+            tuple(schemes),
+        )
+        for storage_gb in storage_values
+    ]
+    return (engine or default_engine()).run_jobs(jobs, num_runs=num_runs)
 
 
 def report(sweep: Dict[str, Dict[str, AveragedResult]], trace_name: str = TRACE_MIT) -> str:

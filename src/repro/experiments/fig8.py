@@ -12,11 +12,14 @@ benches).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from .config import TRACE_MIT, ScenarioSpec
 from .report import format_sweep
-from .runner import AveragedResult, run_comparison
+from .runner import AveragedResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ExperimentEngine
 
 __all__ = ["GENERATION_SWEEP_PER_HOUR", "SWEEP_SCHEMES", "spec", "run", "report"]
 
@@ -55,13 +58,24 @@ def run(
     seed: int = 0,
     rates: Sequence[float] = GENERATION_SWEEP_PER_HOUR,
     schemes: Sequence[str] = SWEEP_SCHEMES,
+    engine: Optional["ExperimentEngine"] = None,
 ) -> Dict[str, Dict[str, AveragedResult]]:
-    """Sweep the generation rate; ``{rate_label: {scheme: result}}``."""
-    sweep: Dict[str, Dict[str, AveragedResult]] = {}
-    for rate in rates:
-        condition = spec(rate, trace_name=trace_name, scale=scale, seed=seed)
-        sweep[f"{rate:.0f}/h"] = run_comparison(condition, schemes, num_runs=num_runs)
-    return sweep
+    """Sweep the generation rate; ``{rate_label: {scheme: result}}``.
+
+    The whole sweep executes as one run plan, so a parallel engine fans
+    out across rates as well as seeds and schemes.
+    """
+    from .engine import default_engine
+
+    jobs = [
+        (
+            f"{rate:.0f}/h",
+            spec(rate, trace_name=trace_name, scale=scale, seed=seed),
+            tuple(schemes),
+        )
+        for rate in rates
+    ]
+    return (engine or default_engine()).run_jobs(jobs, num_runs=num_runs)
 
 
 def report(sweep: Dict[str, Dict[str, AveragedResult]], trace_name: str = TRACE_MIT) -> str:

@@ -9,10 +9,13 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from . import fig3_demo, fig5, fig6, fig7, fig8
 from .config import TRACE_CAMBRIDGE, TRACE_MIT
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ExperimentEngine
 
 __all__ = ["generate_all"]
 
@@ -23,13 +26,19 @@ def generate_all(
     seed: int = 0,
     output_dir: Optional[Path] = None,
     progress: Callable[[str], None] = lambda message: None,
+    engine: Optional["ExperimentEngine"] = None,
 ) -> Dict[str, str]:
     """Run every experiment; returns ``{name: report_text}``.
 
     When *output_dir* is given, each report is also written to
     ``<output_dir>/full_<name>.txt``.  *progress* receives one message per
-    experiment as it starts (wire it to ``print`` for a live log).
+    experiment as it starts (wire it to ``print`` for a live log).  Pass a
+    parallel/caching *engine* to speed up or resume the regeneration; one
+    engine instance is shared across every figure.
     """
+    from .engine import default_engine
+
+    engine = engine or default_engine()
     header = f"(scale={scale}, runs={num_runs}, seed={seed})"
     reports: Dict[str, str] = {}
 
@@ -38,22 +47,24 @@ def generate_all(
 
     progress("fig5 coverage vs time")
     reports["fig5"] = header + "\n" + fig5.report(
-        fig5.run(scale=scale, num_runs=num_runs, seed=seed)
+        fig5.run(scale=scale, num_runs=num_runs, seed=seed, engine=engine)
     )
 
     progress("fig6 contact duration")
     reports["fig6"] = header + "\n" + fig6.report(
-        fig6.run(scale=scale, num_runs=num_runs, seed=seed)
+        fig6.run(scale=scale, num_runs=num_runs, seed=seed, engine=engine)
     )
 
     for trace_name in (TRACE_MIT, TRACE_CAMBRIDGE):
         progress(f"fig7 storage sweep ({trace_name})")
-        sweep = fig7.run(trace_name=trace_name, scale=scale, num_runs=num_runs, seed=seed)
+        sweep = fig7.run(trace_name=trace_name, scale=scale, num_runs=num_runs,
+                         seed=seed, engine=engine)
         reports[f"fig7_{trace_name}"] = header + "\n" + fig7.report(sweep, trace_name)
 
     for trace_name in (TRACE_MIT, TRACE_CAMBRIDGE):
         progress(f"fig8 generation-rate sweep ({trace_name})")
-        sweep = fig8.run(trace_name=trace_name, scale=scale, num_runs=num_runs, seed=seed)
+        sweep = fig8.run(trace_name=trace_name, scale=scale, num_runs=num_runs,
+                         seed=seed, engine=engine)
         reports[f"fig8_{trace_name}"] = header + "\n" + fig8.report(sweep, trace_name)
 
     if output_dir is not None:

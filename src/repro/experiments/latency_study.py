@@ -45,10 +45,10 @@ def run_latency_study(
     """Latency percentiles per scheme, pooled over *num_runs* scenarios."""
     if num_runs < 1:
         raise ValueError(f"num_runs must be at least 1, got {num_runs}")
-    from .runner import SCHEME_FACTORIES
+    from ..routing import parse_scheme_spec, scheme_names
 
     for name in schemes:
-        if name not in SCHEME_FACTORIES:
+        if parse_scheme_spec(name)[0] not in scheme_names():
             raise KeyError(f"unknown scheme {name!r}")
 
     pooled: Dict[str, List[float]] = {name: [] for name in schemes}

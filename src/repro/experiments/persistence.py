@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Any, Dict, TextIO, Union
 
 from ..core.coverage import CoverageValue
+from ..dtn.faults import FaultCounters
 from ..dtn.simulator import SampleRecord, SimulationResult
 from .runner import AveragedResult
 
@@ -41,6 +42,7 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
         "contacts_processed": result.contacts_processed,
         "center_contacts": result.center_contacts,
         "delivery_latencies_s": list(result.delivery_latencies_s),
+        "fault_counters": result.fault_counters.as_dict(),
         "samples": [
             {
                 "time": sample.time,
@@ -65,6 +67,7 @@ def result_from_dict(payload: Dict[str, Any]) -> SimulationResult:
         contacts_processed=payload.get("contacts_processed", 0),
         center_contacts=payload.get("center_contacts", 0),
         delivery_latencies_s=list(payload.get("delivery_latencies_s", [])),
+        fault_counters=FaultCounters(**payload.get("fault_counters", {})),
     )
     for sample in payload["samples"]:
         result.samples.append(

@@ -19,11 +19,14 @@ the photos that survive a truncated contact are the most valuable ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from .config import TRACE_MIT, ScenarioSpec
 from .report import format_table
-from .runner import average_results, run_scenario
+from .runner import average_results
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ExperimentEngine
 
 __all__ = [
     "DEFAULT_INTENSITIES",
@@ -89,13 +92,18 @@ def run_robustness_study(
     seed: int = 0,
     schemes: Sequence[str] = ROBUSTNESS_SCHEMES,
     intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    engine: Optional["ExperimentEngine"] = None,
 ) -> RobustnessOutcome:
     """Sweep fault intensity and record every scheme's degradation curve.
 
-    All schemes at one (intensity, seed) share the same scenario instance
-    -- and therefore the same contact-fault stream -- so the comparison is
-    paired, exactly like the paper's figures.
+    All schemes at one (intensity, seed) see the same deterministically
+    built scenario -- and therefore the same contact-fault stream -- so
+    the comparison is paired, exactly like the paper's figures.  The whole
+    sweep is one engine run plan (fault counters ride along on every
+    result), so a parallel engine spreads work across intensities too.
     """
+    from .engine import RunPlan, default_engine
+
     if num_runs < 1:
         raise ValueError(f"num_runs must be at least 1, got {num_runs}")
     outcome = RobustnessOutcome(intensities=list(intensities))
@@ -104,17 +112,23 @@ def run_robustness_study(
         outcome.aspect_coverage_deg[name] = []
         outcome.delivered_photos[name] = []
 
-    for intensity in intensities:
+    plans = [
+        RunPlan.comparison(spec(intensity, scale=scale, seed=seed), schemes, num_runs)
+        for intensity in intensities
+    ]
+    outcomes = (engine or default_engine()).run(RunPlan.concat(plans))
+
+    cursor = 0
+    for plan in plans:
+        chunk = outcomes[cursor : cursor + len(plan)]
+        cursor += len(plan)
         totals: Dict[str, int] = {}
         per_scheme_results = {name: [] for name in schemes}
-        for run in range(num_runs):
-            condition = spec(intensity, scale=scale, seed=seed + 1000 * run)
-            scenario = condition.build()
-            for name in schemes:
-                result = run_scenario(scenario, name)
-                per_scheme_results[name].append(result)
-                for counter, value in result.fault_counters.as_dict().items():
-                    totals[counter] = totals.get(counter, 0) + value
+        for unit_outcome in chunk:
+            result = unit_outcome.result
+            per_scheme_results[unit_outcome.unit.scheme].append(result)
+            for counter, value in result.fault_counters.as_dict().items():
+                totals[counter] = totals.get(counter, 0) + value
         for name in schemes:
             averaged = average_results(per_scheme_results[name])
             outcome.point_coverage[name].append(averaged.point_coverage)

@@ -1,27 +1,30 @@
-"""Experiment runner: scheme registry, repetition, and averaging.
+"""Experiment runner: scheme access, repetition, and averaging.
 
 Every figure driver boils down to: build a scenario from a
 :class:`~repro.experiments.config.ScenarioSpec`, run each scheme on it
-over several seeds, and average the sample series.  This module factors
-that loop out, including the scheme factory registry (schemes are stateful
-per run, so each run gets a fresh instance).
+over several seeds, and average the sample series.  The heavy lifting now
+lives in :mod:`repro.experiments.engine` (run plans, worker pools, result
+cache); this module keeps the single-run primitives plus thin
+compatibility shims (:func:`run_spec`, :func:`run_comparison`) so
+existing callers and tests are untouched.
+
+Scheme construction goes through the decorator registry in
+:mod:`repro.routing.registry`.  The old ``SCHEME_FACTORIES`` dict remains
+as a deprecated read-only view of that registry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..dtn.simulator import Simulation, SimulationConfig, SimulationResult
-from ..routing.base import RoutingScheme
-from ..routing.best_possible import BestPossibleScheme
-from ..routing.coverage_scheme import CoverageSelectionScheme
-from ..routing.direct import DirectDeliveryScheme
-from ..routing.epidemic import EpidemicScheme
-from ..routing.modified_spray import ModifiedSprayScheme
-from ..routing.photonet import PhotoNetScheme
-from ..routing.spray_and_wait import SprayAndWaitScheme
+from ..routing import create_scheme
+from ..routing.registry import DeprecatedFactoryView
 from .config import Scenario, ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import ExperimentEngine
 
 __all__ = [
     "SCHEME_FACTORIES",
@@ -29,22 +32,13 @@ __all__ = [
     "AveragedResult",
     "run_spec",
     "run_comparison",
+    "run_scenario",
     "average_results",
 ]
 
-SchemeFactory = Callable[[], RoutingScheme]
-
-#: Registry of scheme factories by the names Section V-B uses.
-SCHEME_FACTORIES: Dict[str, SchemeFactory] = {
-    "our-scheme": lambda: CoverageSelectionScheme(use_metadata_cache=True),
-    "no-metadata": lambda: CoverageSelectionScheme(use_metadata_cache=False),
-    "best-possible": BestPossibleScheme,
-    "spray-and-wait": lambda: SprayAndWaitScheme(initial_copies=4),
-    "modified-spray": lambda: ModifiedSprayScheme(initial_copies=4),
-    "photonet": PhotoNetScheme,
-    "epidemic": EpidemicScheme,
-    "direct": DirectDeliveryScheme,
-}
+#: Deprecated read-only view of the scheme registry; use
+#: :func:`repro.routing.create_scheme` instead.
+SCHEME_FACTORIES = DeprecatedFactoryView()
 
 #: The five schemes compared in Fig. 5-8, in the paper's legend order.
 PAPER_SCHEMES: Sequence[str] = (
@@ -71,39 +65,33 @@ class AveragedResult:
     delivered_series: List[float] = field(default_factory=list)
 
 
-def _make_scheme(name: str) -> RoutingScheme:
-    factory = SCHEME_FACTORIES.get(name)
-    if factory is None:
-        raise KeyError(f"unknown scheme {name!r}; known: {sorted(SCHEME_FACTORIES)}")
-    return factory()
-
-
 def run_spec(spec: ScenarioSpec, scheme_name: str) -> SimulationResult:
     """One run: build the spec's scenario and run the named scheme on it."""
     scenario = spec.build()
     return run_scenario(scenario, scheme_name)
 
 
+def _best_possible_config(config: SimulationConfig) -> SimulationConfig:
+    """The upper bound's config: resource limits lifted, all else kept.
+
+    ``dataclasses.replace`` (rather than a hand-copied constructor call)
+    means newly added config fields -- fault plans, future knobs -- can
+    never be silently dropped from the bound.
+    """
+    return replace(
+        config,
+        storage_bytes=None,
+        unlimited_contacts=True,
+        contact_duration_cap_s=None,
+    )
+
+
 def run_scenario(scenario: Scenario, scheme_name: str) -> SimulationResult:
     """Run the named scheme on an already materialized scenario."""
-    scheme = _make_scheme(scheme_name)
+    scheme = create_scheme(scheme_name)
     config = scenario.config
     if scheme_name == "best-possible":
-        # The upper bound is defined without storage or bandwidth limits.
-        config = SimulationConfig(
-            storage_bytes=None,
-            bandwidth_bytes_per_s=config.bandwidth_bytes_per_s,
-            unlimited_contacts=True,
-            contact_duration_cap_s=None,
-            effective_angle=config.effective_angle,
-            validity_threshold=config.validity_threshold,
-            prophet=config.prophet,
-            sample_interval_s=config.sample_interval_s,
-            command_center_id=config.command_center_id,
-            # The bound still experiences contact-level faults (drops,
-            # delays, churn) -- only resource limits are lifted.
-            fault_plan=config.fault_plan,
-        )
+        config = _best_possible_config(config)
     simulation = Simulation(
         trace=scenario.trace,
         pois=scenario.pois,
@@ -154,18 +142,18 @@ def run_comparison(
     spec: ScenarioSpec,
     scheme_names: Sequence[str] = PAPER_SCHEMES,
     num_runs: int = 1,
+    engine: Optional["ExperimentEngine"] = None,
 ) -> Dict[str, AveragedResult]:
     """Run every scheme on *num_runs* seed-varied instances of *spec*.
 
     All schemes see the exact same scenario instance per seed (common
     random numbers), which sharpens the paired comparison the figures
-    make.
+    make.  Compatibility shim over
+    :meth:`repro.experiments.engine.ExperimentEngine.run_comparison`;
+    pass an *engine* to parallelize or cache.
     """
+    from .engine import default_engine
+
     if num_runs < 1:
         raise ValueError(f"num_runs must be at least 1, got {num_runs}")
-    per_scheme: Dict[str, List[SimulationResult]] = {name: [] for name in scheme_names}
-    for run in range(num_runs):
-        scenario = spec.with_seed(spec.seed + 1000 * run).build()
-        for name in scheme_names:
-            per_scheme[name].append(run_scenario(scenario, name))
-    return {name: average_results(results) for name, results in per_scheme.items()}
+    return (engine or default_engine()).run_comparison(spec, scheme_names, num_runs)

@@ -12,13 +12,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 from scipy import stats
 
 from .config import ScenarioSpec
-from .runner import run_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ExperimentEngine
 
 __all__ = ["SchemeStatistics", "PairedComparison", "seed_sensitivity", "paired_comparison"]
 
@@ -58,22 +60,27 @@ def _collect(
     schemes: Sequence[str],
     num_seeds: int,
     metric: str,
+    engine: Optional["ExperimentEngine"] = None,
 ) -> Dict[str, List[float]]:
+    from .engine import RunPlan, default_engine
+
     if num_seeds < 2:
         raise ValueError(f"need at least 2 seeds for statistics, got {num_seeds}")
+    if metric not in ("point", "aspect", "delivered"):
+        raise ValueError(f"unknown metric {metric!r}")
+    plan = RunPlan.comparison(spec, schemes, num_runs=num_seeds)
     values: Dict[str, List[float]] = {name: [] for name in schemes}
-    for run in range(num_seeds):
-        scenario = spec.with_seed(spec.seed + 1000 * run).build()
-        for name in schemes:
-            result = run_scenario(scenario, name)
-            if metric == "point":
-                values[name].append(result.final_point_coverage)
-            elif metric == "aspect":
-                values[name].append(result.final_aspect_coverage_deg)
-            elif metric == "delivered":
-                values[name].append(float(result.delivered_photos))
-            else:
-                raise ValueError(f"unknown metric {metric!r}")
+    # Plan order is seed-major, so per-scheme values stay seed-ascending --
+    # exactly the pairing the paired t-test depends on.
+    for outcome in (engine or default_engine()).run(plan):
+        result = outcome.result
+        if metric == "point":
+            value = result.final_point_coverage
+        elif metric == "aspect":
+            value = result.final_aspect_coverage_deg
+        else:
+            value = float(result.delivered_photos)
+        values[outcome.unit.scheme].append(value)
     return values
 
 
@@ -83,11 +90,12 @@ def seed_sensitivity(
     num_seeds: int = 5,
     confidence: float = 0.95,
     metric: str = "point",
+    engine: Optional["ExperimentEngine"] = None,
 ) -> Dict[str, SchemeStatistics]:
     """Across-seed mean and t-interval per scheme."""
     if not 0.0 < confidence < 1.0:
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
-    values = _collect(spec, schemes, num_seeds, metric)
+    values = _collect(spec, schemes, num_seeds, metric, engine=engine)
     out: Dict[str, SchemeStatistics] = {}
     for name, samples in values.items():
         data = np.asarray(samples)
@@ -112,9 +120,10 @@ def paired_comparison(
     scheme_b: str,
     num_seeds: int = 5,
     metric: str = "point",
+    engine: Optional["ExperimentEngine"] = None,
 ) -> PairedComparison:
     """Paired t-test of *scheme_a* against *scheme_b* (common seeds)."""
-    values = _collect(spec, (scheme_a, scheme_b), num_seeds, metric)
+    values = _collect(spec, (scheme_a, scheme_b), num_seeds, metric, engine=engine)
     a = np.asarray(values[scheme_a])
     b = np.asarray(values[scheme_b])
     differences = a - b

@@ -92,7 +92,7 @@ def run_weighted_study(
     important_ids = set(range(num_important))  # ids are position-stable per seed
 
     from ..dtn.simulator import Simulation
-    from .runner import SCHEME_FACTORIES
+    from ..routing import create_scheme
 
     def delivered_with(weights_on: bool):
         scenario = spec.build()
@@ -109,7 +109,7 @@ def run_weighted_study(
             trace=scenario.trace,
             pois=scenario.pois,
             photo_arrivals=scenario.photo_arrivals,
-            scheme=SCHEME_FACTORIES[scheme_name](),
+            scheme=create_scheme(scheme_name),
             config=scenario.config,
             gateway_ids=scenario.gateway_ids,
             end_time_s=scenario.end_time_s,

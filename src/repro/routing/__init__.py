@@ -1,6 +1,15 @@
 """Routing schemes: PROPHET metric, the paper's scheme, and all baselines."""
 
 from .base import RoutingScheme, individual_coverage
+from .registry import (
+    DeprecatedFactoryView,
+    create_scheme,
+    parse_scheme_spec,
+    register_scheme,
+    scheme_defaults,
+    scheme_names,
+    unregister_scheme,
+)
 from .best_possible import BestPossibleScheme
 from .coverage_scheme import CoverageSelectionScheme, NoMetadataScheme
 from .direct import DirectDeliveryScheme
@@ -13,6 +22,13 @@ from .spray_and_wait import SprayAndWaitScheme
 __all__ = [
     "RoutingScheme",
     "individual_coverage",
+    "DeprecatedFactoryView",
+    "create_scheme",
+    "parse_scheme_spec",
+    "register_scheme",
+    "scheme_defaults",
+    "scheme_names",
+    "unregister_scheme",
     "BestPossibleScheme",
     "CoverageSelectionScheme",
     "NoMetadataScheme",

@@ -11,6 +11,7 @@ comparison Section V makes.
 from __future__ import annotations
 
 import abc
+import math
 from typing import TYPE_CHECKING, Optional
 
 from ..core.coverage import CoverageValue
@@ -92,8 +93,8 @@ def individual_coverage(sim: "Simulation", photo: Photo) -> CoverageValue:
     for poi_id, direction in sim.index.incidences(photo):
         poi = sim.index.pois[poi_id]
         point += poi.weight
-        if direction == direction:  # not NaN
-            aspect += poi.weight * min(2.0 * theta, 6.283185307179586)
+        if not math.isnan(direction):
+            aspect += poi.weight * min(2.0 * theta, math.tau)
     value = CoverageValue(point, aspect)
     cache[photo.photo_id] = value
     return value

@@ -14,10 +14,12 @@ from __future__ import annotations
 
 from ..core.metadata import Photo
 from .base import RoutingScheme
+from .registry import register_scheme
 
 __all__ = ["BestPossibleScheme"]
 
 
+@register_scheme("best-possible")
 class BestPossibleScheme(RoutingScheme):
     """Unconstrained epidemic replication of useful photos."""
 

@@ -33,10 +33,13 @@ from ..core.selection import StorageSpec, greedy_reallocate, greedy_select
 from ..core.transfer import build_transfer_plan, execute_transfer_plan
 from ..metadata_mgmt.cache import CacheEntry
 from .base import RoutingScheme
+from .registry import register_scheme
 
 __all__ = ["CoverageSelectionScheme", "NoMetadataScheme"]
 
 
+@register_scheme("our-scheme", use_metadata_cache=True)
+@register_scheme("no-metadata", use_metadata_cache=False)
 class CoverageSelectionScheme(RoutingScheme):
     """Our scheme (or NoMetadata when *use_metadata_cache* is off)."""
 

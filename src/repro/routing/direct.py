@@ -10,10 +10,12 @@ from __future__ import annotations
 
 from ..core.metadata import Photo
 from .base import RoutingScheme
+from .registry import register_scheme
 
 __all__ = ["DirectDeliveryScheme"]
 
 
+@register_scheme("direct")
 class DirectDeliveryScheme(RoutingScheme):
     """Only source-to-command-center transfers; no peer exchange."""
 

@@ -13,10 +13,12 @@ from __future__ import annotations
 
 from ..core.metadata import Photo
 from .base import RoutingScheme
+from .registry import register_scheme
 
 __all__ = ["EpidemicScheme"]
 
 
+@register_scheme("epidemic")
 class EpidemicScheme(RoutingScheme):
     """Flood every photo to every peer within the resource limits."""
 

@@ -15,11 +15,13 @@ from typing import List
 
 from ..core.metadata import Photo
 from .base import individual_coverage
+from .registry import register_scheme
 from .spray_and_wait import SprayAndWaitScheme
 
 __all__ = ["ModifiedSprayScheme"]
 
 
+@register_scheme("modified-spray", initial_copies=4)
 class ModifiedSprayScheme(SprayAndWaitScheme):
     """Spray-and-Wait ordered and evicted by stand-alone photo coverage."""
 

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.metadata import Photo
 from .base import RoutingScheme
+from .registry import register_scheme
 
 __all__ = ["PhotoNetScheme", "photo_features"]
 
@@ -49,6 +50,7 @@ def _distance(a: Sequence[float], b: Sequence[float]) -> float:
     return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
 
 
+@register_scheme("photonet")
 class PhotoNetScheme(RoutingScheme):
     """Diversity-driven photo delivery (the Fig. 3 comparison baseline)."""
 

@@ -1,0 +1,154 @@
+"""Decorator-based scheme registry with parameterized variants.
+
+Schemes register themselves at class-definition time::
+
+    @register_scheme("spray-and-wait", initial_copies=4)
+    class SprayAndWaitScheme(RoutingScheme):
+        ...
+
+and callers instantiate them by name through :func:`create_scheme`.  A
+name may carry parameter overrides inline -- ``"spray-and-wait:
+initial_copies=8"`` -- so experiment code (and the experiment engine's
+content-addressed cache keys) can express parameterized variants as plain
+strings without touching the registry.  Keyword defaults given to the
+decorator are merged under any inline or call-site overrides.
+
+The old ``SCHEME_FACTORIES`` dict in ``repro.experiments.runner`` is kept
+as a deprecated read-only :class:`DeprecatedFactoryView` over this
+registry, so existing callers keep working while new code migrates.
+"""
+
+from __future__ import annotations
+
+import ast
+import warnings
+from typing import Any, Callable, Dict, Iterator, Mapping, Tuple, TypeVar
+
+from .base import RoutingScheme
+
+__all__ = [
+    "register_scheme",
+    "unregister_scheme",
+    "create_scheme",
+    "scheme_names",
+    "scheme_defaults",
+    "parse_scheme_spec",
+    "DeprecatedFactoryView",
+]
+
+FactoryT = TypeVar("FactoryT", bound=Callable[..., RoutingScheme])
+
+#: name -> (factory, default kwargs); populated by :func:`register_scheme`.
+_REGISTRY: Dict[str, Tuple[Callable[..., RoutingScheme], Dict[str, Any]]] = {}
+
+
+def register_scheme(name: str, **defaults: Any) -> Callable[[FactoryT], FactoryT]:
+    """Register the decorated class (or factory callable) under *name*.
+
+    Keyword arguments become the variant's default constructor arguments;
+    the same class may be registered under several names with different
+    defaults (e.g. ``our-scheme`` / ``no-metadata``).
+    """
+    if not name or ":" in name or "," in name or "=" in name:
+        raise ValueError(f"invalid scheme name {name!r}")
+
+    def decorate(factory: FactoryT) -> FactoryT:
+        if name in _REGISTRY:
+            raise ValueError(f"scheme {name!r} is already registered")
+        _REGISTRY[name] = (factory, dict(defaults))
+        return factory
+
+    return decorate
+
+
+def unregister_scheme(name: str) -> None:
+    """Remove a registration (plugin teardown / test isolation)."""
+    _REGISTRY.pop(name, None)
+
+
+def scheme_names() -> Tuple[str, ...]:
+    """All registered scheme names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def scheme_defaults(name: str) -> Dict[str, Any]:
+    """The registered default kwargs of *name* (a copy)."""
+    return dict(_lookup(name)[1])
+
+
+def parse_scheme_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split ``"name"`` or ``"name:k=v,k2=v2"`` into name and kwargs.
+
+    Values are parsed as Python literals (``8``, ``0.5``, ``True``,
+    ``'x'``) and fall back to the raw string.
+    """
+    name, _, params = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"empty scheme name in {spec!r}")
+    kwargs: Dict[str, Any] = {}
+    if params.strip():
+        for item in params.split(","):
+            key, sep, raw = item.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise ValueError(f"malformed scheme parameter {item!r} in {spec!r}")
+            raw = raw.strip()
+            try:
+                kwargs[key] = ast.literal_eval(raw)
+            except (ValueError, SyntaxError):
+                kwargs[key] = raw
+    return name, kwargs
+
+
+def _lookup(name: str) -> Tuple[Callable[..., RoutingScheme], Dict[str, Any]]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def create_scheme(spec: str, **overrides: Any) -> RoutingScheme:
+    """Instantiate a scheme from ``"name"`` or ``"name:k=v,..."``.
+
+    Construction order: registered defaults, then inline ``k=v`` pairs,
+    then call-site *overrides* -- later wins.  Every call produces a fresh
+    instance (schemes are stateful per run).
+    """
+    name, inline = parse_scheme_spec(spec)
+    factory, defaults = _lookup(name)
+    merged = {**defaults, **inline, **overrides}
+    return factory(**merged)
+
+
+class DeprecatedFactoryView(Mapping):
+    """Read-only mapping emulating the retired ``SCHEME_FACTORIES`` dict.
+
+    Lookups return zero-argument factories (as the dict held) and emit a
+    :class:`DeprecationWarning` steering callers to
+    :func:`repro.routing.create_scheme`.
+    """
+
+    def __getitem__(self, name: str) -> Callable[[], RoutingScheme]:
+        factory, defaults = _lookup(name)  # KeyError for unknown names
+        warnings.warn(
+            "SCHEME_FACTORIES is deprecated; use repro.routing.create_scheme "
+            f"({name!r}) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return lambda: factory(**defaults)
+
+    def __contains__(self, name: object) -> bool:
+        return name in _REGISTRY
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(_REGISTRY))
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeprecatedFactoryView({sorted(_REGISTRY)})"

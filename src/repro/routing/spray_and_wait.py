@@ -18,12 +18,14 @@ from typing import Dict, List
 
 from ..core.metadata import Photo
 from .base import RoutingScheme
+from .registry import register_scheme
 
 __all__ = ["SprayAndWaitScheme"]
 
 _COPIES_KEY = "spray_copies"
 
 
+@register_scheme("spray-and-wait", initial_copies=4)
 class SprayAndWaitScheme(RoutingScheme):
     """Binary spray and wait with *initial_copies* replicas per photo."""
 

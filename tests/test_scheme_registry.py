@@ -1,0 +1,136 @@
+"""Tests for the decorator-based scheme registry (repro.routing.registry)."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.routing import (
+    create_scheme,
+    parse_scheme_spec,
+    register_scheme,
+    scheme_defaults,
+    scheme_names,
+    unregister_scheme,
+)
+from repro.routing.base import RoutingScheme
+from repro.routing.coverage_scheme import CoverageSelectionScheme
+from repro.routing.spray_and_wait import SprayAndWaitScheme
+from repro.experiments.runner import SCHEME_FACTORIES
+
+
+class TestParsing:
+    def test_plain_name(self):
+        assert parse_scheme_spec("epidemic") == ("epidemic", {})
+
+    def test_parameters_are_literals(self):
+        name, kwargs = parse_scheme_spec(
+            "spray-and-wait:initial_copies=8,use_metadata_cache=True,floor=0.5"
+        )
+        assert name == "spray-and-wait"
+        assert kwargs == {"initial_copies": 8, "use_metadata_cache": True, "floor": 0.5}
+
+    def test_non_literal_falls_back_to_string(self):
+        assert parse_scheme_spec("x:mode=fast")[1] == {"mode": "fast"}
+
+    def test_whitespace_tolerated(self):
+        assert parse_scheme_spec(" x : a = 1 , b = 2 ") == ("x", {"a": 1, "b": 2})
+
+    @pytest.mark.parametrize("bad", [":a=1", "x:a", "x:=1", "x:,"])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_scheme_spec(bad)
+
+
+class TestRegistry:
+    def test_paper_schemes_registered(self):
+        names = scheme_names()
+        for expected in (
+            "best-possible",
+            "our-scheme",
+            "no-metadata",
+            "modified-spray",
+            "spray-and-wait",
+            "epidemic",
+            "direct",
+            "photonet",
+        ):
+            assert expected in names
+        assert list(names) == sorted(names)
+
+    def test_create_plain(self):
+        scheme = create_scheme("spray-and-wait")
+        assert isinstance(scheme, SprayAndWaitScheme)
+        assert scheme.initial_copies == 4  # registered default
+
+    def test_create_parameterized_inline(self):
+        assert create_scheme("spray-and-wait:initial_copies=8").initial_copies == 8
+
+    def test_overrides_beat_inline_beat_defaults(self):
+        assert (
+            create_scheme("spray-and-wait:initial_copies=8", initial_copies=2).initial_copies
+            == 2
+        )
+
+    def test_same_class_two_registrations(self):
+        ours = create_scheme("our-scheme")
+        nometa = create_scheme("no-metadata")
+        assert isinstance(ours, CoverageSelectionScheme)
+        assert isinstance(nometa, CoverageSelectionScheme)
+        assert ours.use_metadata_cache and not nometa.use_metadata_cache
+
+    def test_fresh_instance_per_call(self):
+        assert create_scheme("epidemic") is not create_scheme("epidemic")
+
+    def test_unknown_scheme_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            create_scheme("no-such-scheme")
+
+    def test_scheme_defaults_returns_copy(self):
+        defaults = scheme_defaults("spray-and-wait")
+        assert defaults == {"initial_copies": 4}
+        defaults["initial_copies"] = 99
+        assert scheme_defaults("spray-and-wait") == {"initial_copies": 4}
+
+    def test_duplicate_registration_rejected(self):
+        @register_scheme("registry-test-dup")
+        class Dup(RoutingScheme):  # pragma: no cover - never instantiated
+            name = "registry-test-dup"
+
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_scheme("registry-test-dup")(Dup)
+        finally:
+            unregister_scheme("registry-test-dup")
+        assert "registry-test-dup" not in scheme_names()
+
+    @pytest.mark.parametrize("bad", ["", "a:b", "a,b", "a=b"])
+    def test_reserved_characters_rejected_in_names(self, bad):
+        with pytest.raises(ValueError, match="invalid scheme name"):
+            register_scheme(bad)
+
+
+class TestDeprecatedFactoryView:
+    def test_getitem_warns_and_builds(self):
+        with pytest.warns(DeprecationWarning, match="SCHEME_FACTORIES is deprecated"):
+            factory = SCHEME_FACTORIES["spray-and-wait"]
+        scheme = factory()
+        assert isinstance(scheme, SprayAndWaitScheme)
+        assert scheme.initial_copies == 4
+
+    def test_contains_and_iteration_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert "epidemic" in SCHEME_FACTORIES
+            assert "no-such" not in SCHEME_FACTORIES
+            assert list(SCHEME_FACTORIES) == list(scheme_names())
+            assert len(SCHEME_FACTORIES) == len(scheme_names())
+
+    def test_unknown_key_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            SCHEME_FACTORIES["no-such-scheme"]
+
+    def test_read_only(self):
+        with pytest.raises(TypeError):
+            SCHEME_FACTORIES["x"] = lambda: None  # type: ignore[index]
