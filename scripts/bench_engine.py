@@ -14,6 +14,15 @@ single-core box the parallel leg cannot be faster than serial (it pays
 process spawn and pickling overhead for no extra compute), so speedup
 below 1.0 there is expected, not a bug.
 
+A second section benchmarks the observability subsystem: the same unit is
+run with no telemetry at all, with a *disabled* ``SimTelemetry`` (hooks
+dispatched into the no-op registry -- the pure cost of the hook call
+sites), and fully enabled.  The disabled leg must stay within
+``--max-overhead`` (default 5%) of the plain leg -- that is the
+observability subsystem's zero-overhead-when-off contract.  Legs are
+interleaved and the minimum over ``--telemetry-repeats`` is compared, so
+one scheduler hiccup does not fail the run.
+
 Run:  python scripts/bench_engine.py [--scale 0.2] [--runs 4] [--workers 4]
 """
 
@@ -26,9 +35,10 @@ import time
 from pathlib import Path
 
 from repro.experiments.engine import ExperimentEngine
-from repro.experiments.persistence import averaged_to_dict
-from repro.experiments.runner import PAPER_SCHEMES
+from repro.experiments.persistence import averaged_to_dict, result_to_dict
+from repro.experiments.runner import PAPER_SCHEMES, run_spec
 from repro.experiments import fig5
+from repro.obs import SimTelemetry
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -41,6 +51,56 @@ def _time_leg(workers: int, spec, schemes, num_runs: int):
     return elapsed, results
 
 
+def bench_telemetry(spec, scheme: str, repeats: int, max_overhead: float):
+    """Plain vs disabled-telemetry vs enabled-telemetry run_spec timings.
+
+    Returns the summary dict; raises SystemExit when the disabled leg
+    exceeds the overhead budget.  All three legs must produce the same
+    simulation result (telemetry only observes).
+    """
+    timings = {"plain": [], "disabled": [], "enabled": []}
+    results = {}
+    for _ in range(max(1, repeats)):
+        for leg, telemetry in (
+            ("plain", None),
+            ("disabled", SimTelemetry(enabled=False)),
+            ("enabled", SimTelemetry()),
+        ):
+            started = time.perf_counter()
+            result = run_spec(spec, scheme, telemetry=telemetry)
+            timings[leg].append(time.perf_counter() - started)
+            results[leg] = result_to_dict(result)
+
+    if not (results["plain"] == results["disabled"] == results["enabled"]):
+        raise SystemExit("FAIL: telemetry changed the simulation result")
+
+    plain_s = min(timings["plain"])
+    disabled_s = min(timings["disabled"])
+    enabled_s = min(timings["enabled"])
+    disabled_overhead = disabled_s / plain_s - 1.0 if plain_s > 0 else 0.0
+    enabled_overhead = enabled_s / plain_s - 1.0 if plain_s > 0 else 0.0
+    print(
+        f"telemetry: plain {plain_s:.3f}s, disabled {disabled_s:.3f}s "
+        f"({disabled_overhead:+.1%}), enabled {enabled_s:.3f}s ({enabled_overhead:+.1%})"
+    )
+    if disabled_overhead > max_overhead:
+        raise SystemExit(
+            f"FAIL: disabled-telemetry overhead {disabled_overhead:.1%} "
+            f"exceeds the {max_overhead:.0%} budget"
+        )
+    return {
+        "scheme": scheme,
+        "repeats": repeats,
+        "plain_s": round(plain_s, 4),
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "disabled_overhead": round(disabled_overhead, 4),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "max_overhead": max_overhead,
+        "identical_results": True,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.2)
@@ -48,6 +108,15 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--telemetry-repeats", type=int, default=5,
+        help="interleaved repetitions per telemetry leg (minimum is compared; "
+        "run on an otherwise idle machine, the budget is tight)",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=0.05,
+        help="allowed fractional slowdown of the disabled-telemetry leg",
+    )
     args = parser.parse_args()
 
     spec = fig5.spec(scale=args.scale, seed=args.seed)
@@ -71,6 +140,10 @@ def main() -> None:
     if not identical:
         raise SystemExit("FAIL: parallel results differ from serial")
 
+    telemetry = bench_telemetry(
+        spec, "our-scheme", args.telemetry_repeats, args.max_overhead
+    )
+
     payload = {
         "scale": args.scale,
         "runs": args.runs,
@@ -83,6 +156,7 @@ def main() -> None:
         "parallel_s": round(parallel_s, 3),
         "speedup": round(speedup, 3),
         "identical": identical,
+        "telemetry": telemetry,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

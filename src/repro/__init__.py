@@ -18,7 +18,7 @@ Quickstart::
     print(fig5.report(results))
 """
 
-from . import core, dtn, experiments, metadata_mgmt, routing, sensors, traces, workload
+from . import core, dtn, experiments, metadata_mgmt, obs, routing, sensors, traces, workload
 
 __version__ = "1.0.0"
 
@@ -27,6 +27,7 @@ __all__ = [
     "dtn",
     "experiments",
     "metadata_mgmt",
+    "obs",
     "routing",
     "sensors",
     "traces",

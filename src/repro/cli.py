@@ -57,6 +57,19 @@ def _add_engine_flags(cmd: argparse.ArgumentParser) -> None:
         action="store_true",
         help="run every unit fresh; do not read or write the result cache",
     )
+    cmd.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="instrument every run unit (metrics, profiling, coverage curve) "
+        "and write an aggregated run manifest (see docs/OBSERVABILITY.md)",
+    )
+    cmd.add_argument(
+        "--manifest",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="where --telemetry writes the run manifest (default: manifest.json)",
+    )
 
 
 def _engine_from_args(args: argparse.Namespace):
@@ -79,7 +92,16 @@ def _engine_from_args(args: argparse.Namespace):
             file=sys.stderr,
         )
 
-    return ExperimentEngine(workers=args.workers, cache=cache, progress=progress)
+    telemetry = bool(getattr(args, "telemetry", False))
+    manifest = getattr(args, "manifest", None)
+    manifest_path = manifest if manifest else ("manifest.json" if telemetry else None)
+    return ExperimentEngine(
+        workers=args.workers,
+        cache=cache,
+        progress=progress,
+        telemetry=telemetry,
+        manifest_path=manifest_path,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -167,6 +189,24 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--scale", type=float, default=1.0)
     stats.add_argument("--seed", type=int, default=0)
 
+    telemetry = sub.add_parser(
+        "telemetry", help="instrumented comparison run emitting a run manifest"
+    )
+    telemetry.add_argument("--scale", type=float, default=0.1, help="scenario scale (0, 1]")
+    telemetry.add_argument("--runs", type=int, default=1, help="seed-varied repetitions")
+    telemetry.add_argument("--seed", type=int, default=0)
+    _add_engine_flags(telemetry)
+
+    metrics = sub.add_parser(
+        "metrics", help="inspect a telemetry run manifest (validates it first)"
+    )
+    metrics.add_argument("manifest_file", help="path to a manifest.json")
+    metrics.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit the aggregated metrics in Prometheus text exposition format",
+    )
+
     ablation = sub.add_parser("ablation", help="design-knob sweeps")
     ablation.add_argument(
         "study",
@@ -193,6 +233,8 @@ def _cmd_list() -> int:
         ["centralized", "DTN vs connected-server selection efficiency"],
         ["weighted", "PoI-weight prioritization under a scarce uplink"],
         ["trace-stats", "Sec. III-B exponential inter-contact check"],
+        ["telemetry", "instrumented run: metrics + profile -> manifest.json"],
+        ["metrics", "validate and summarize a run manifest (--prometheus)"],
         ["ablation", "pthld | theta | floor | gateways | estimators"],
     ]
     print(format_table(["command", "what it reproduces"], rows))
@@ -223,7 +265,8 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
     common = dict(scale=args.scale, num_runs=args.runs, seed=args.seed)
-    engine_common = dict(common, engine=_engine_from_args(args))
+    engine = _engine_from_args(args)
+    engine_common = dict(common, engine=engine)
     if args.study == "pthld":
         print(format_comparison(ablations.sweep_validity_threshold(**engine_common),
                                 title="Eq. 1 validity threshold sweep"))
@@ -246,6 +289,8 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
             for name, (point, aspect, seconds) in outcome.items()
         ]
         print(format_table(["estimator", "point", "aspect-deg", "time"], rows))
+    if args.study in ("pthld", "theta", "floor"):
+        _note_manifest(engine)
     return 0
 
 
@@ -257,10 +302,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
 
+def _note_manifest(engine) -> None:
+    """Tell the user (on stderr) where the telemetry manifest landed."""
+    if engine.telemetry and engine.manifest_path is not None:
+        print(f"telemetry manifest written to {engine.manifest_path}", file=sys.stderr)
+
+
 def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "list":
         return _cmd_list()
+    if args.command == "telemetry":
+        from .experiments.telemetry_study import run_telemetry_study, telemetry_report
+
+        args.telemetry = True  # the study is pointless without instrumentation
+        engine = _engine_from_args(args)
+        manifest = run_telemetry_study(
+            scale=args.scale, num_runs=args.runs, seed=args.seed, engine=engine
+        )
+        print(telemetry_report(manifest))
+        _note_manifest(engine)
+        return 0
+    if args.command == "metrics":
+        from .experiments.telemetry_study import telemetry_report
+        from .obs.manifest import ManifestError, load_manifest
+
+        try:
+            manifest = load_manifest(args.manifest_file)
+        except (OSError, ValueError) as exc:  # ManifestError is a ValueError
+            kind = "invalid" if isinstance(exc, ManifestError) else "unreadable"
+            print(f"{kind} manifest {args.manifest_file}: {exc}", file=sys.stderr)
+            return 1
+        if args.prometheus:
+            from .obs.registry import registry_from_snapshot
+
+            print(registry_from_snapshot(manifest["metrics"]).to_prometheus(), end="")
+        else:
+            print(telemetry_report(manifest))
+        return 0
     if args.command == "demo":
         outcomes = fig3_demo.run(seed=args.seed, use_sensor_pipeline=args.sensors)
         print(fig3_demo.report(outcomes))
@@ -279,11 +358,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
 
         intensities = args.intensities if args.intensities else DEFAULT_INTENSITIES
+        engine = _engine_from_args(args)
         outcome = run_robustness_study(
             scale=args.scale, num_runs=args.runs, seed=args.seed,
-            intensities=intensities, engine=_engine_from_args(args),
+            intensities=intensities, engine=engine,
         )
         print(robustness_report(outcome))
+        _note_manifest(engine)
         return 0
     if args.command == "centralized":
         from .experiments.centralized_study import run_centralized_study
@@ -346,8 +427,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_ablation(args)
 
     if args.command == "fig5":
+        engine = _engine_from_args(args)
         results = fig5.run(scale=args.scale, num_runs=args.runs, seed=args.seed,
-                           engine=_engine_from_args(args))
+                           engine=engine)
         print(fig5.report(results))
         if args.chart:
             from .experiments.asciiplot import line_chart
@@ -355,9 +437,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             series = {name: result.point_series for name, result in results.items()}
             print("\npoint coverage vs time:")
             print(line_chart(series))
+        _note_manifest(engine)
     elif args.command == "fig6":
+        engine = _engine_from_args(args)
         results = fig6.run(scale=args.scale, num_runs=args.runs, seed=args.seed,
-                           engine=_engine_from_args(args))
+                           engine=engine)
         print(fig6.report(results))
         if args.chart:
             from .experiments.asciiplot import line_chart
@@ -365,16 +449,19 @@ def _dispatch(args: argparse.Namespace) -> int:
             series = {name: result.point_series for name, result in results.items()}
             print("\npoint coverage vs time:")
             print(line_chart(series))
+        _note_manifest(engine)
     elif args.command == "fig7":
+        engine = _engine_from_args(args)
         sweep = fig7.run(trace_name=args.trace, scale=args.scale,
-                         num_runs=args.runs, seed=args.seed,
-                         engine=_engine_from_args(args))
+                         num_runs=args.runs, seed=args.seed, engine=engine)
         print(fig7.report(sweep, trace_name=args.trace))
+        _note_manifest(engine)
     elif args.command == "fig8":
+        engine = _engine_from_args(args)
         sweep = fig8.run(trace_name=args.trace, scale=args.scale,
-                         num_runs=args.runs, seed=args.seed,
-                         engine=_engine_from_args(args))
+                         num_runs=args.runs, seed=args.seed, engine=engine)
         print(fig8.report(sweep, trace_name=args.trace))
+        _note_manifest(engine)
     return 0
 
 

@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.runtime import active_telemetry
 from .coverage import CoverageValue
 from .coverage_index import CoverageIndex
 from .expected_coverage import NodeProfile, SelectionEvaluator
@@ -116,6 +118,13 @@ def greedy_select(
     selection = NodeSelection(node_id=storage.node_id)
     budget = storage.capacity_bytes
 
+    # Telemetry (repro.obs): the active sink is None on uninstrumented
+    # runs, so the disabled cost is one global read plus local counters.
+    telemetry = active_telemetry()
+    started = perf_counter() if telemetry is not None else 0.0
+    gain_evaluations = 0
+    iterations = 0
+
     # Lazy greedy: gains are submodular (they only shrink as the selection
     # grows -- see SelectionEvaluator.gain_of), so a max-heap of possibly
     # stale gains is exact: when the top entry's gain is fresh it is the
@@ -124,16 +133,20 @@ def greedy_select(
     heap: List[Tuple[float, float, int, int, Photo]] = []
     for photo in pool:
         gain = evaluator.gain_of(photo)
+        gain_evaluations += 1
         if require_positive_gain and not gain.is_positive():
             # Submodularity: a photo with no gain now never gains later.
             continue
         heap.append((-gain.point, -gain.aspect, photo.size_bytes, photo.photo_id, photo))
     heapq.heapify(heap)
+    # The initial pool scan is the expected-coverage enumeration phase.
+    enumeration_s = (perf_counter() - started) if telemetry is not None else 0.0
 
     version = 0  # bumps on every committed photo
     freshness: Dict[int, int] = {photo.photo_id: 0 for *_rest, photo in heap}
 
     while heap:
+        iterations += 1
         neg_point, neg_aspect, size, photo_id, photo = heapq.heappop(heap)
         if budget is not None and size > budget:
             continue  # the budget only shrinks; this photo is out for good
@@ -151,11 +164,21 @@ def greedy_select(
                     break
         else:
             gain = evaluator.gain_of(photo)
+            gain_evaluations += 1
             freshness[photo_id] = version
             if require_positive_gain and not gain.is_positive():
                 continue
             heapq.heappush(heap, (-gain.point, -gain.aspect, size, photo_id, photo))
 
+    if telemetry is not None:
+        telemetry.on_selection(
+            pool_size=len(pool),
+            iterations=iterations,
+            gain_evaluations=gain_evaluations,
+            selected=len(selection.photos),
+            elapsed_s=perf_counter() - started,
+            enumeration_s=enumeration_s,
+        )
     return selection
 
 

@@ -17,8 +17,10 @@ paper's "photo collections gradually become the same as the solution".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from ..obs.runtime import active_telemetry
 from .metadata import Photo
 from .selection import ReallocationResult
 
@@ -118,6 +120,10 @@ def execute_transfer_plan(
         bytes still count against the budget but the receiver discards it.
         ``None`` means every transmission arrives intact.
     """
+    telemetry = active_telemetry()
+    started = perf_counter() if telemetry is not None else 0.0
+    skipped_no_room = 0
+
     collections: Dict[int, List[Photo]] = {
         node_id: list(photos) for node_id, photos in holdings.items()
     }
@@ -143,6 +149,7 @@ def execute_transfer_plan(
         if capacity is not None:
             if not _make_room(collections[receiver], target_ids[receiver], capacity, size):
                 # Could not make room without evicting a target photo; skip.
+                skipped_no_room += 1
                 continue
         if transfer_survives is not None and not transfer_survives(transfer.photo):
             # Corrupted in flight: bandwidth spent, nothing stored.
@@ -162,6 +169,19 @@ def execute_transfer_plan(
                 continue
             collections[node_id] = [p for p in collections[node_id] if p.photo_id in ids]
 
+    if telemetry is not None:
+        bytes_corrupted = sum(t.photo.size_bytes for t in dropped)
+        telemetry.on_transfer_outcome(
+            offered=len(plan),
+            accepted=len(completed),
+            corrupted=len(dropped),
+            skipped_no_room=skipped_no_room,
+            bytes_delivered=bytes_used - bytes_corrupted,
+            bytes_corrupted=bytes_corrupted,
+            bytes_truncated=max(0, plan.total_bytes - bytes_used) if truncated else 0,
+            truncated=truncated,
+            elapsed_s=perf_counter() - started,
+        )
     return TransferOutcome(
         final_collections=collections,
         completed_transfers=completed,

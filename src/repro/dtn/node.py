@@ -101,6 +101,16 @@ class DTNNode:
         """``p_i``: PROPHET predictability toward the command center."""
         return self.prophet.predictability(self.command_center_id, now)
 
+    def buffer_occupancy(self) -> Optional[float]:
+        """Fraction of storage in use, or ``None`` for unlimited storage.
+
+        The telemetry layer samples this across all nodes at every SAMPLE
+        event to build the buffer-pressure timeseries.
+        """
+        if self.storage.capacity_bytes is None or self.storage.capacity_bytes == 0:
+            return None
+        return self.storage.used_bytes / self.storage.capacity_bytes
+
     def snapshot_metadata(self, now: float) -> CacheEntry:
         """This node's own metadata snapshot, for handing to a contact peer.
 

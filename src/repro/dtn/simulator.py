@@ -21,6 +21,8 @@ from ..core.coverage_index import CoverageIndex, PoICoverageState
 from ..core.metadata import Photo
 from ..core.poi import PoIList
 from ..metadata_mgmt.intercontact import DEFAULT_VALIDITY_THRESHOLD
+from ..obs.runtime import activated
+from ..obs.telemetry import SimTelemetry
 from ..routing.base import RoutingScheme
 from ..routing.prophet import ProphetParameters
 from ..traces.model import ContactTrace
@@ -126,8 +128,13 @@ class Simulation:
         config: SimulationConfig = SimulationConfig(),
         gateway_ids: Iterable[int] = (),
         end_time_s: Optional[float] = None,
+        telemetry: Optional[SimTelemetry] = None,
     ) -> None:
         self.config = config
+        #: Optional instrumentation sink (see :mod:`repro.obs`).  ``None``
+        #: keeps the run on the uninstrumented fast path -- results are
+        #: byte-identical either way, telemetry only observes.
+        self.telemetry = telemetry
         self.pois = pois
         self.index = CoverageIndex(pois, effective_angle=config.effective_angle)
         self.command_center = CommandCenter(config.command_center_id)
@@ -244,8 +251,25 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        """Drain the event queue and return the run's result.
+
+        With a telemetry sink attached it is *activated* for the duration
+        of the loop so the pure core algorithms (selection, transfer,
+        metadata cache) can reach it through
+        :func:`repro.obs.runtime.active_telemetry`.
+        """
+        with activated(self.telemetry):
+            self._run_loop()
+        self.result.final_coverage = self.center_coverage()
+        self.result.delivered_photos = self.command_center.received_count
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.result)
+        return self.result
+
+    def _run_loop(self) -> None:
         cc_id = self.config.command_center_id
         counters = self.result.fault_counters
+        tel = self.telemetry
         while self._queue:
             event = self._queue.pop()
             self._now = event.time
@@ -258,6 +282,8 @@ class Simulation:
                     counters.photos_missed_while_down += 1
                     continue
                 self.result.created_photos += 1
+                if tel is not None:
+                    tel.on_photo_created()
                 self.scheme.on_photo_created(node, photo, event.time)
             elif event.kind == EventKind.CONTACT:
                 node_a_id, node_b_id, duration = event.payload[:3]
@@ -275,9 +301,16 @@ class Simulation:
                             counters.contacts_skipped_node_down += 1
                             continue
                         self.result.center_contacts += 1
+                        if tel is not None:
+                            tel.on_contact("uplink")
                         self.scheme.on_command_center_contact(
                             node, self.command_center, event.time, duration
                         )
+                        if tel is not None:
+                            point, aspect = self.index.normalized(self.center_coverage())
+                            tel.on_uplink_coverage(
+                                event.time, point, aspect, self.command_center.received_count
+                            )
                     else:
                         node_a = self.nodes.get(node_a_id)
                         node_b = self.nodes.get(node_b_id)
@@ -287,6 +320,8 @@ class Simulation:
                             counters.contacts_skipped_node_down += 1
                             continue
                         self.result.contacts_processed += 1
+                        if tel is not None:
+                            tel.on_contact("contact")
                         self.scheme.on_contact(node_a, node_b, event.time, duration)
                 finally:
                     self._bandwidth_scale = 1.0
@@ -314,9 +349,6 @@ class Simulation:
             elif event.kind == EventKind.END:
                 self._record_sample(event.time)
                 break
-        self.result.final_coverage = self.center_coverage()
-        self.result.delivered_photos = self.command_center.received_count
-        return self.result
 
     def _record_sample(self, time: float) -> None:
         point_norm, aspect_deg = self.index.normalized(self.center_coverage())
@@ -328,3 +360,5 @@ class Simulation:
                 delivered_photos=self.command_center.received_count,
             )
         )
+        if self.telemetry is not None:
+            self.telemetry.on_buffer_sample(time, self.nodes.values())

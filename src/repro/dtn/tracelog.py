@@ -17,8 +17,9 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, TextIO, Union
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
+from ..obs.telemetry import SimulationObserver
 from ..routing.base import RoutingScheme
 
 __all__ = ["LogEntry", "SimulationLog", "attach_logging"]
@@ -49,13 +50,22 @@ class LogEntry:
 
 
 class SimulationLog:
-    """An append-only collection of :class:`LogEntry` with queries."""
+    """An append-only collection of :class:`LogEntry` with queries.
+
+    Implements the :class:`~repro.obs.telemetry.SimulationObserver`
+    protocol (``on_log_entry``), so the log itself is just one observer
+    among possibly many on the shared :func:`attach_logging` wiring point.
+    """
 
     def __init__(self) -> None:
         self.entries: List[LogEntry] = []
 
     def append(self, entry: LogEntry) -> None:
         self.entries.append(entry)
+
+    def on_log_entry(self, entry: LogEntry) -> None:
+        """:class:`SimulationObserver` hook; alias of :meth:`append`."""
+        self.append(entry)
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -90,12 +100,24 @@ class SimulationLog:
 
 
 class _LoggingScheme(RoutingScheme):
-    """Wraps another scheme, recording storage deltas around each event."""
+    """Wraps another scheme, recording storage deltas around each event.
 
-    def __init__(self, inner: RoutingScheme, log: SimulationLog) -> None:
+    Every recorded :class:`LogEntry` is fanned out to all registered
+    :class:`~repro.obs.telemetry.SimulationObserver`\\ s -- the log itself
+    plus e.g. a :class:`~repro.obs.telemetry.SimTelemetry` -- so the event
+    log and the metrics pipeline share one wiring point.
+    """
+
+    def __init__(
+        self,
+        inner: RoutingScheme,
+        log: SimulationLog,
+        observers: Sequence[SimulationObserver] = (),
+    ) -> None:
         super().__init__()
         self.inner = inner
         self.log = log
+        self.observers: Tuple[SimulationObserver, ...] = (log, *observers)
         self.name = inner.name
 
     def bind(self, sim) -> None:
@@ -120,16 +142,16 @@ class _LoggingScheme(RoutingScheme):
             if minus:
                 lost[node.node_id] = minus
         delivered = sorted(self._delivered_snapshot() - delivered_before)
-        self.log.append(
-            LogEntry(
-                time=now,
-                kind=kind,
-                nodes=[node.node_id for node in nodes],
-                gained=gained,
-                lost=lost,
-                delivered=delivered,
-            )
+        entry = LogEntry(
+            time=now,
+            kind=kind,
+            nodes=[node.node_id for node in nodes],
+            gained=gained,
+            lost=lost,
+            delivered=delivered,
         )
+        for observer in self.observers:
+            observer.on_log_entry(entry)
 
     def on_photo_created(self, node, photo, now: float) -> None:
         before = self._snapshot([node])
@@ -150,11 +172,24 @@ class _LoggingScheme(RoutingScheme):
         self._record("uplink", now, [node], before, delivered_before)
 
 
-def attach_logging(scheme: RoutingScheme, log: Optional[SimulationLog] = None):
+def attach_logging(
+    scheme: RoutingScheme,
+    log: Optional[SimulationLog] = None,
+    observers: Sequence[SimulationObserver] = (),
+):
     """Wrap *scheme* so every event's observable effects land in a log.
 
     Returns ``(wrapped_scheme, log)``; pass the wrapped scheme to
     :class:`~repro.dtn.simulator.Simulation` in place of the original.
+
+    *observers* are additional :class:`~repro.obs.telemetry.
+    SimulationObserver` sinks (e.g. a :class:`~repro.obs.telemetry.
+    SimTelemetry`) notified of every entry the log records -- the single
+    wiring point shared by the event log and the metrics pipeline::
+
+        telemetry = SimTelemetry()
+        wrapped, log = attach_logging(scheme, observers=(telemetry,))
+        Simulation(..., scheme=wrapped, telemetry=telemetry).run()
     """
     log = log if log is not None else SimulationLog()
-    return _LoggingScheme(scheme, log), log
+    return _LoggingScheme(scheme, log, observers), log

@@ -11,6 +11,7 @@ from . import (
     fig8,
     latency_study,
     sensitivity,
+    telemetry_study,
     weighted_study,
 )
 from .generate_all import generate_all
@@ -43,6 +44,7 @@ __all__ = [
     "dissemination_study",
     "latency_study",
     "sensitivity",
+    "telemetry_study",
     "generate_all",
     "ExperimentEngine",
     "ResultCache",

@@ -35,11 +35,12 @@ import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..dtn.simulator import SimulationResult
+from ..obs.manifest import build_manifest, write_manifest
 from .config import ScenarioSpec
 from .persistence import result_from_dict, result_to_dict
 from .runner import PAPER_SCHEMES, AveragedResult, average_results, run_spec
@@ -58,7 +59,9 @@ __all__ = [
 
 #: Bumped whenever the unit hash inputs or cached payload change shape;
 #: part of every key, so stale cache entries simply never match.
-CACHE_SCHEMA_VERSION = 1
+#: v2: units carry a ``telemetry`` flag and telemetry-enabled entries
+#: store the telemetry snapshot beside the result.
+CACHE_SCHEMA_VERSION = 2
 
 #: Where the CLI puts the cache unless told otherwise.
 DEFAULT_CACHE_DIR = Path(
@@ -80,10 +83,17 @@ class RunUnit:
     ``scheme`` is a registry spec string, so parameterized variants are
     first-class and hash distinctly (``"our-scheme"`` vs
     ``"our-scheme:min_delivery_probability=0.1"``).
+
+    ``telemetry`` asks the executor to observe the run with a
+    :class:`~repro.obs.telemetry.SimTelemetry` and keep the snapshot in
+    the outcome (and cache entry).  The simulation result itself is
+    byte-identical either way, but the flag is part of the cache key so a
+    telemetry-enabled sweep never serves a snapshot-less entry.
     """
 
     spec: ScenarioSpec
     scheme: str
+    telemetry: bool = False
 
     def key(self) -> str:
         """Content hash of everything that determines this unit's result.
@@ -98,12 +108,14 @@ class RunUnit:
             "repro_version": _package_version(),
             "scheme": self.scheme,
             "spec": asdict(self.spec),
+            "telemetry": self.telemetry,
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
-        return f"{self.scheme} seed={self.spec.seed}"
+        suffix = " +telemetry" if self.telemetry else ""
+        return f"{self.scheme} seed={self.spec.seed}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -137,6 +149,15 @@ class RunPlan:
     def concat(cls, plans: Sequence["RunPlan"]) -> "RunPlan":
         return cls(tuple(unit for plan in plans for unit in plan.units))
 
+    def with_telemetry(self, enabled: bool = True) -> "RunPlan":
+        """The same plan with every unit's telemetry flag set to *enabled*."""
+        return RunPlan(
+            tuple(
+                unit if unit.telemetry == enabled else replace(unit, telemetry=enabled)
+                for unit in self.units
+            )
+        )
+
     def __add__(self, other: "RunPlan") -> "RunPlan":
         return RunPlan(self.units + other.units)
 
@@ -149,12 +170,17 @@ class RunPlan:
 
 @dataclass(frozen=True)
 class UnitOutcome:
-    """One executed (or cache-served) unit with its provenance."""
+    """One executed (or cache-served) unit with its provenance.
+
+    ``telemetry`` is the :meth:`~repro.obs.telemetry.SimTelemetry.snapshot`
+    dict when the unit ran with telemetry, else ``None``.
+    """
 
     unit: RunUnit
     result: SimulationResult
     duration_s: float
     cached: bool
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -186,13 +212,31 @@ class ResultCache:
         return self.directory / f"{unit.key()}.json"
 
     def get(self, unit: RunUnit) -> Optional[SimulationResult]:
+        payload = self.get_payload(unit)
+        if payload is None:
+            return None
         try:
-            payload = json.loads(self.path_for(unit).read_text(encoding="utf-8"))
             return result_from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
             return None
 
-    def put(self, unit: RunUnit, result_payload: Dict[str, Any], duration_s: float) -> None:
+    def get_payload(self, unit: RunUnit) -> Optional[Dict[str, Any]]:
+        """The full stored entry (result dict, duration, telemetry) or None."""
+        try:
+            payload = json.loads(self.path_for(unit).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or "result" not in payload:
+            return None
+        return payload
+
+    def put(
+        self,
+        unit: RunUnit,
+        result_payload: Dict[str, Any],
+        duration_s: float,
+        telemetry: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(unit)
         payload = {
@@ -200,6 +244,8 @@ class ResultCache:
             "duration_s": duration_s,
             "result": result_payload,
         }
+        if telemetry is not None:
+            payload["telemetry"] = telemetry
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, default=repr), encoding="utf-8")
         os.replace(tmp, path)
@@ -208,16 +254,24 @@ class ResultCache:
         return self.path_for(unit).exists()
 
 
-def _execute_unit(unit: RunUnit) -> Tuple[Dict[str, Any], float]:
+def _execute_unit(unit: RunUnit) -> Tuple[Dict[str, Any], float, Optional[Dict[str, Any]]]:
     """Worker entry point: run one unit, return the persistence payload.
 
     Module-level so it pickles into pool workers; returning the dict (not
     the result object) keeps parent-side values byte-identical to what a
-    cache hit would load.
+    cache hit would load.  Telemetry-enabled units additionally return the
+    snapshot dict (plain JSON types, so it crosses the pool unchanged).
     """
+    telemetry = None
+    if unit.telemetry:
+        from ..obs.telemetry import SimTelemetry
+
+        telemetry = SimTelemetry()
     start = time.perf_counter()
-    result = run_spec(unit.spec, unit.scheme)
-    return result_to_dict(result), time.perf_counter() - start
+    result = run_spec(unit.spec, unit.scheme, telemetry=telemetry)
+    duration = time.perf_counter() - start
+    snapshot = telemetry.snapshot() if telemetry is not None else None
+    return result_to_dict(result), duration, snapshot
 
 
 class ExperimentEngine:
@@ -227,6 +281,11 @@ class ExperimentEngine:
     fans cache misses out over a process pool.  Either way the returned
     outcomes are ordered by plan position and units are deterministic
     functions of their spec, so parallel output equals serial output.
+
+    ``telemetry=True`` turns every unit of every plan this engine runs
+    into a telemetry-enabled unit and aggregates the per-unit snapshots
+    into a run manifest after each :meth:`run` (available as
+    :attr:`last_manifest`; written to ``manifest_path`` when set).
     """
 
     def __init__(
@@ -234,12 +293,18 @@ class ExperimentEngine:
         workers: int = 1,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
+        telemetry: bool = False,
+        manifest_path: Optional[os.PathLike] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         self.workers = workers
         self.cache = cache
         self.progress = progress
+        self.telemetry = telemetry
+        self.manifest_path = Path(manifest_path) if manifest_path is not None else None
+        #: Manifest dict of the most recent telemetry-enabled :meth:`run`.
+        self.last_manifest: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # Core execution
@@ -251,6 +316,8 @@ class ExperimentEngine:
         Repeated units (identical keys) execute once and share the result;
         cache hits never execute at all.
         """
+        if self.telemetry:
+            plan = plan.with_telemetry()
         units = list(plan)
         total = len(units)
         completed = 0
@@ -278,20 +345,27 @@ class ExperimentEngine:
             if key in first_index:
                 continue  # duplicate: resolved at merge time
             first_index[key] = index
-            hit = self.cache.get(unit) if self.cache is not None else None
-            if hit is not None:
-                finish(index, UnitOutcome(unit, hit, 0.0, True))
-            else:
-                pending.append(index)
+            entry = self.cache.get_payload(unit) if self.cache is not None else None
+            if entry is not None:
+                try:
+                    hit = result_from_dict(entry["result"])
+                except (ValueError, KeyError, TypeError):
+                    hit = None
+                if hit is not None:
+                    finish(index, UnitOutcome(unit, hit, 0.0, True, entry.get("telemetry")))
+                    continue
+            pending.append(index)
 
         if pending and (self.workers == 1 or len(pending) == 1):
             for index in pending:
-                payload, duration = _execute_unit(units[index])
+                payload, duration, snapshot = _execute_unit(units[index])
                 if self.cache is not None:
-                    self.cache.put(units[index], payload, duration)
+                    self.cache.put(units[index], payload, duration, telemetry=snapshot)
                 finish(
                     index,
-                    UnitOutcome(units[index], result_from_dict(payload), duration, False),
+                    UnitOutcome(
+                        units[index], result_from_dict(payload), duration, False, snapshot
+                    ),
                 )
         elif pending:
             max_workers = min(self.workers, len(pending))
@@ -301,13 +375,17 @@ class ExperimentEngine:
                 }
                 for future in as_completed(futures):
                     index = futures[future]
-                    payload, duration = future.result()
+                    payload, duration, snapshot = future.result()
                     if self.cache is not None:
-                        self.cache.put(units[index], payload, duration)
+                        self.cache.put(units[index], payload, duration, telemetry=snapshot)
                     finish(
                         index,
                         UnitOutcome(
-                            units[index], result_from_dict(payload), duration, False
+                            units[index],
+                            result_from_dict(payload),
+                            duration,
+                            False,
+                            snapshot,
                         ),
                     )
 
@@ -317,7 +395,16 @@ class ExperimentEngine:
             if index == first_index[unit.key()]:
                 merged.append(source)
             else:
-                merged.append(UnitOutcome(unit, source.result, source.duration_s, True))
+                merged.append(
+                    UnitOutcome(
+                        unit, source.result, source.duration_s, True, source.telemetry
+                    )
+                )
+
+        if self.telemetry:
+            self.last_manifest = build_manifest(merged)
+            if self.manifest_path is not None:
+                write_manifest(self.manifest_path, self.last_manifest)
         return merged
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ from ..routing.registry import DeprecatedFactoryView
 from .config import Scenario, ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.telemetry import SimTelemetry
     from .engine import ExperimentEngine
 
 __all__ = [
@@ -65,10 +66,19 @@ class AveragedResult:
     delivered_series: List[float] = field(default_factory=list)
 
 
-def run_spec(spec: ScenarioSpec, scheme_name: str) -> SimulationResult:
-    """One run: build the spec's scenario and run the named scheme on it."""
+def run_spec(
+    spec: ScenarioSpec,
+    scheme_name: str,
+    telemetry: Optional["SimTelemetry"] = None,
+) -> SimulationResult:
+    """One run: build the spec's scenario and run the named scheme on it.
+
+    *telemetry* is an optional :class:`~repro.obs.telemetry.SimTelemetry`
+    that observes the run; it never affects the result (simulations are
+    byte-identical with or without it).
+    """
     scenario = spec.build()
-    return run_scenario(scenario, scheme_name)
+    return run_scenario(scenario, scheme_name, telemetry=telemetry)
 
 
 def _best_possible_config(config: SimulationConfig) -> SimulationConfig:
@@ -86,7 +96,11 @@ def _best_possible_config(config: SimulationConfig) -> SimulationConfig:
     )
 
 
-def run_scenario(scenario: Scenario, scheme_name: str) -> SimulationResult:
+def run_scenario(
+    scenario: Scenario,
+    scheme_name: str,
+    telemetry: Optional["SimTelemetry"] = None,
+) -> SimulationResult:
     """Run the named scheme on an already materialized scenario."""
     scheme = create_scheme(scheme_name)
     config = scenario.config
@@ -100,6 +114,7 @@ def run_scenario(scenario: Scenario, scheme_name: str) -> SimulationResult:
         config=config,
         gateway_ids=scenario.gateway_ids,
         end_time_s=scenario.end_time_s,
+        telemetry=telemetry,
     )
     return simulation.run()
 

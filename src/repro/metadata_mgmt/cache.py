@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.metadata import Photo
+from ..obs.runtime import active_telemetry
 from .intercontact import DEFAULT_VALIDITY_THRESHOLD, metadata_is_valid
 
 __all__ = ["CacheEntry", "MetadataCache"]
@@ -110,6 +111,9 @@ class MetadataCache:
         existing = self._entries.get(entry.node_id)
         if existing is None or entry.snapshot_time >= existing.snapshot_time:
             self._entries[entry.node_id] = entry
+            telemetry = active_telemetry()
+            if telemetry is not None:
+                telemetry.on_cache_event("store")
 
     def merge_from(self, other: "MetadataCache") -> int:
         """Adopt the fresher of each entry from a peer's cache.
@@ -126,6 +130,9 @@ class MetadataCache:
             if existing is None or entry.snapshot_time > existing.snapshot_time:
                 self._entries[node_id] = entry
                 updated += 1
+        telemetry = active_telemetry()
+        if telemetry is not None:
+            telemetry.on_cache_event("merge_update", updated)
         return updated
 
     def get(self, node_id: int) -> Optional[CacheEntry]:
@@ -148,6 +155,9 @@ class MetadataCache:
         ]
         for node_id in stale:
             del self._entries[node_id]
+        telemetry = active_telemetry()
+        if telemetry is not None:
+            telemetry.on_cache_event("purged", len(stale))
         return len(stale)
 
     def valid_entries(self, now: float, exclude: Iterable[int] = ()) -> List[CacheEntry]:
@@ -160,11 +170,20 @@ class MetadataCache:
         """
         excluded = set(exclude)
         valid: List[CacheEntry] = []
+        expired = 0
         for node_id, entry in sorted(self._entries.items()):
             if node_id in excluded:
                 continue
             if node_id == self.command_center_id or entry.is_valid_at(now, self.threshold):
                 valid.append(entry)
+            else:
+                expired += 1
+        telemetry = active_telemetry()
+        if telemetry is not None:
+            # Eq. 1 at read time: usable entries are hits, entries whose
+            # staleness probability crossed P_thld are expiry misses.
+            telemetry.on_cache_event("hit", len(valid))
+            telemetry.on_cache_event("miss_expired", expired)
         return valid
 
     def known_nodes(self) -> Tuple[int, ...]:

@@ -1,0 +1,355 @@
+"""Run manifests: one JSON document describing an executed run plan.
+
+A manifest is the engine's flight recorder -- written beside the result
+cache (or wherever ``manifest_path`` points), it captures everything
+needed to audit a sweep after the fact: the content hash of the plan,
+which schemes and seeds ran, per-unit wall-clock timings and cache
+provenance, the aggregated wall-clock profile, a merged metric snapshot,
+and each scheme's coverage-over-time curve.
+
+The schema is deliberately small and validated structurally by
+:func:`validate_manifest` (no external jsonschema dependency); CI runs a
+telemetry smoke job that emits a manifest and validates it on every push.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from .profiler import merge_profiles
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "ManifestError",
+    "build_manifest",
+    "merge_metric_snapshots",
+    "plan_hash",
+    "validate_manifest",
+    "write_manifest",
+    "load_manifest",
+]
+
+#: Bumped when the manifest payload shape changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+class ManifestError(ValueError):
+    """A manifest failed structural validation."""
+
+
+def plan_hash(unit_keys: Iterable[str]) -> str:
+    """Content hash of a run plan: the ordered unit keys, hashed."""
+    digest = hashlib.sha256()
+    for key in unit_keys:
+        digest.update(key.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def merge_metric_snapshots(snapshots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold several registry snapshots into one aggregate snapshot.
+
+    Counters, histograms, and timers sum across runs (per label set);
+    gauges -- end-state readings like final coverage -- are averaged, with
+    the run count recorded in the family help suffix being unnecessary
+    since units are listed individually anyway.
+    """
+    merged: Dict[str, Any] = {}
+    gauge_counts: Dict[str, Dict[str, int]] = {}
+    for snapshot in snapshots:
+        for name, family in snapshot.items():
+            into = merged.get(name)
+            if into is None:
+                into = merged[name] = {
+                    "kind": family["kind"],
+                    "help": family.get("help", ""),
+                    "samples": [],
+                }
+                gauge_counts[name] = {}
+            by_labels = {
+                json.dumps(s["labels"], sort_keys=True): s for s in into["samples"]
+            }
+            for sample in family.get("samples", []):
+                label_key = json.dumps(sample.get("labels", {}), sort_keys=True)
+                existing = by_labels.get(label_key)
+                if existing is None:
+                    new = {"labels": dict(sample.get("labels", {})),
+                           "value": _copy_value(sample["value"])}
+                    into["samples"].append(new)
+                    by_labels[label_key] = new
+                    if family["kind"] == "gauge":
+                        gauge_counts[name][label_key] = 1
+                else:
+                    _merge_value(
+                        family["kind"], existing, sample["value"],
+                        gauge_counts[name], label_key,
+                    )
+    # Turn gauge sums into means.
+    for name, family in merged.items():
+        if family["kind"] != "gauge":
+            continue
+        for sample in family["samples"]:
+            label_key = json.dumps(sample["labels"], sort_keys=True)
+            count = gauge_counts[name].get(label_key, 1)
+            if count > 1:
+                sample["value"] = sample["value"] / count
+    return merged
+
+
+def _copy_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        copied = dict(value)
+        if "buckets" in copied:
+            copied["buckets"] = dict(copied["buckets"])
+        return copied
+    return value
+
+
+def _merge_value(
+    kind: str,
+    existing: Dict[str, Any],
+    incoming: Any,
+    gauge_counts: Dict[str, int],
+    label_key: str,
+) -> None:
+    if kind in ("counter",):
+        existing["value"] += incoming
+    elif kind == "gauge":
+        existing["value"] += incoming
+        gauge_counts[label_key] = gauge_counts.get(label_key, 1) + 1
+    elif kind == "histogram":
+        value = existing["value"]
+        for bound, count in incoming["buckets"].items():
+            value["buckets"][bound] = value["buckets"].get(bound, 0) + count
+        value["count"] += incoming["count"]
+        value["sum"] += incoming["sum"]
+    elif kind == "timer":
+        value = existing["value"]
+        if incoming["count"]:
+            value["min"] = (
+                incoming["min"] if not value["count"] else min(value["min"], incoming["min"])
+            )
+            value["max"] = max(value["max"], incoming["max"])
+        value["count"] += incoming["count"]
+        value["sum"] += incoming["sum"]
+    else:  # unknown kinds pass through first-wins
+        pass
+
+
+def build_manifest(
+    outcomes: Sequence[Any],
+    generator: str = "repro",
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the manifest for a finished run plan.
+
+    *outcomes* are the engine's ``UnitOutcome`` objects (duck-typed:
+    ``unit``, ``result``, ``duration_s``, ``cached``, ``telemetry``).
+    """
+    units: List[Dict[str, Any]] = []
+    telemetry_snapshots: List[Dict[str, Any]] = []
+    profiles: List[Dict[str, Any]] = []
+    coverage_by_scheme: Dict[str, List[Dict[str, float]]] = {}
+    for outcome in outcomes:
+        unit = outcome.unit
+        telemetry = getattr(outcome, "telemetry", None)
+        entry: Dict[str, Any] = {
+            "scheme": unit.scheme,
+            "seed": unit.spec.seed,
+            "key": unit.key(),
+            "duration_s": outcome.duration_s,
+            "cached": outcome.cached,
+            "result": {
+                "point_coverage": outcome.result.final_point_coverage,
+                "aspect_coverage_deg": outcome.result.final_aspect_coverage_deg,
+                "delivered_photos": outcome.result.delivered_photos,
+                "created_photos": outcome.result.created_photos,
+                "contacts_processed": outcome.result.contacts_processed,
+                "center_contacts": outcome.result.center_contacts,
+            },
+            "telemetry": telemetry,
+        }
+        units.append(entry)
+        if telemetry:
+            telemetry_snapshots.append(telemetry.get("metrics", {}))
+            profiles.append(telemetry.get("profile", {}))
+            curve = telemetry.get("coverage_curve") or []
+            if curve and unit.scheme not in coverage_by_scheme:
+                coverage_by_scheme[unit.scheme] = curve
+
+    schemes: List[str] = []
+    for outcome in outcomes:
+        if outcome.unit.scheme not in schemes:
+            schemes.append(outcome.unit.scheme)
+    seeds = sorted({outcome.unit.spec.seed for outcome in outcomes})
+
+    manifest: Dict[str, Any] = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "generator": generator,
+        "plan_hash": plan_hash(u["key"] for u in units),
+        "schemes": schemes,
+        "seeds": seeds,
+        "units": units,
+        "timings": {
+            "total_unit_s": sum(u["duration_s"] for u in units),
+            "cached_units": sum(1 for u in units if u["cached"]),
+            "executed_units": sum(1 for u in units if not u["cached"]),
+            "profile": merge_profiles(profiles),
+        },
+        "metrics": merge_metric_snapshots(telemetry_snapshots),
+        "coverage_over_time": coverage_by_scheme,
+    }
+    if extra:
+        manifest["extra"] = dict(extra)
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# Validation (structural; no external schema library)
+# ----------------------------------------------------------------------
+
+#: The manifest schema, JSON-Schema-shaped, for documentation and
+#: external validators.  :func:`validate_manifest` enforces the same
+#: constraints natively.
+MANIFEST_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "schema_version", "generator", "plan_hash", "schemes", "seeds",
+        "units", "timings", "metrics", "coverage_over_time",
+    ],
+    "properties": {
+        "schema_version": {"type": "integer", "const": MANIFEST_SCHEMA_VERSION},
+        "generator": {"type": "string"},
+        "plan_hash": {"type": "string", "pattern": "^[0-9a-f]{64}$"},
+        "schemes": {"type": "array", "items": {"type": "string"}, "minItems": 1},
+        "seeds": {"type": "array", "items": {"type": "integer"}, "minItems": 1},
+        "units": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["scheme", "seed", "key", "duration_s", "cached", "result"],
+            },
+        },
+        "timings": {
+            "type": "object",
+            "required": ["total_unit_s", "cached_units", "executed_units", "profile"],
+        },
+        "metrics": {"type": "object"},
+        "coverage_over_time": {"type": "object"},
+    },
+}
+
+
+def _fail(errors: List[str], message: str) -> None:
+    errors.append(message)
+
+
+def validate_manifest(payload: Dict[str, Any]) -> List[str]:
+    """Structurally validate a manifest; returns a list of problems.
+
+    An empty list means the manifest is valid.  Raise-style callers can
+    use :func:`ensure_valid_manifest`.
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["manifest is not a JSON object"]
+    for key in MANIFEST_SCHEMA["required"]:
+        if key not in payload:
+            _fail(errors, f"missing required key {key!r}")
+    if errors:
+        return errors
+
+    if payload["schema_version"] != MANIFEST_SCHEMA_VERSION:
+        _fail(errors, f"schema_version {payload['schema_version']!r} != {MANIFEST_SCHEMA_VERSION}")
+    if not isinstance(payload["generator"], str):
+        _fail(errors, "generator must be a string")
+    ph = payload["plan_hash"]
+    if not (isinstance(ph, str) and len(ph) == 64 and all(c in "0123456789abcdef" for c in ph)):
+        _fail(errors, "plan_hash must be a 64-char lowercase hex sha256")
+    if not (isinstance(payload["schemes"], list) and payload["schemes"]
+            and all(isinstance(s, str) for s in payload["schemes"])):
+        _fail(errors, "schemes must be a non-empty list of strings")
+    if not (isinstance(payload["seeds"], list) and payload["seeds"]
+            and all(isinstance(s, int) for s in payload["seeds"])):
+        _fail(errors, "seeds must be a non-empty list of integers")
+
+    units = payload["units"]
+    if not (isinstance(units, list) and units):
+        _fail(errors, "units must be a non-empty list")
+        units = []
+    for i, unit in enumerate(units):
+        if not isinstance(unit, dict):
+            _fail(errors, f"units[{i}] is not an object")
+            continue
+        for key in ("scheme", "seed", "key", "duration_s", "cached", "result"):
+            if key not in unit:
+                _fail(errors, f"units[{i}] missing {key!r}")
+        if "duration_s" in unit and (
+            not isinstance(unit["duration_s"], (int, float))
+            or isinstance(unit["duration_s"], bool)
+            or unit["duration_s"] < 0
+            or math.isnan(float(unit["duration_s"]))
+        ):
+            _fail(errors, f"units[{i}].duration_s must be a non-negative number")
+        if "cached" in unit and not isinstance(unit["cached"], bool):
+            _fail(errors, f"units[{i}].cached must be a boolean")
+        telemetry = unit.get("telemetry")
+        if telemetry is not None:
+            if not isinstance(telemetry, dict):
+                _fail(errors, f"units[{i}].telemetry must be an object or null")
+            else:
+                for key in ("metrics", "profile", "coverage_curve", "buffer_occupancy"):
+                    if key not in telemetry:
+                        _fail(errors, f"units[{i}].telemetry missing {key!r}")
+
+    timings = payload["timings"]
+    if not isinstance(timings, dict):
+        _fail(errors, "timings must be an object")
+    else:
+        for key in ("total_unit_s", "cached_units", "executed_units", "profile"):
+            if key not in timings:
+                _fail(errors, f"timings missing {key!r}")
+    if not isinstance(payload["metrics"], dict):
+        _fail(errors, "metrics must be an object")
+    else:
+        for name, family in payload["metrics"].items():
+            if not isinstance(family, dict) or "kind" not in family or "samples" not in family:
+                _fail(errors, f"metrics[{name!r}] must carry kind and samples")
+    if not isinstance(payload["coverage_over_time"], dict):
+        _fail(errors, "coverage_over_time must be an object")
+    return errors
+
+
+def ensure_valid_manifest(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate *payload*, raising :class:`ManifestError` on problems."""
+    errors = validate_manifest(payload)
+    if errors:
+        raise ManifestError("; ".join(errors))
+    return payload
+
+
+# ----------------------------------------------------------------------
+# I/O
+# ----------------------------------------------------------------------
+
+
+def write_manifest(path: Union[str, Path], manifest: Dict[str, Any]) -> Path:
+    """Atomically write *manifest* as JSON to *path* (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and structurally validate a manifest from disk."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return ensure_valid_manifest(payload)

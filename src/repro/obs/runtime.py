@@ -1,0 +1,51 @@
+"""The active-telemetry hook point consulted by instrumented hot paths.
+
+Core algorithm functions (:func:`repro.core.selection.greedy_select`,
+:func:`repro.core.transfer.execute_transfer_plan`, the metadata cache)
+are pure and carry no simulation reference, so they cannot be handed a
+telemetry object without widening every signature.  Instead the simulator
+*activates* its telemetry for the duration of :meth:`Simulation.run`, and
+instrumented code asks :func:`active_telemetry` -- one module-global read
+and a ``None`` check, which is the entire disabled-path overhead.
+
+The slot is deliberately process-global, not thread-local: a simulation
+is single-threaded and the experiment engine parallelizes across
+*processes*, each of which owns a private slot.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .telemetry import SimTelemetry
+
+__all__ = ["active_telemetry", "activated"]
+
+_ACTIVE: Optional["SimTelemetry"] = None
+
+
+def active_telemetry() -> Optional["SimTelemetry"]:
+    """The telemetry of the currently running simulation, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def activated(telemetry: Optional["SimTelemetry"]) -> Iterator[Optional["SimTelemetry"]]:
+    """Make *telemetry* the active sink for the duration of the block.
+
+    ``activated(None)`` is a no-op passthrough, so callers never branch.
+    Nesting restores the previous sink on exit (simulations that spawn
+    inner simulations -- e.g. the centralized study -- keep their own).
+    """
+    global _ACTIVE
+    if telemetry is None:
+        yield None
+        return
+    previous = _ACTIVE
+    _ACTIVE = telemetry
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE = previous

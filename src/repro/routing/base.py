@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..core.coverage import CoverageValue
 from ..core.metadata import Photo
+from ..obs.runtime import active_telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..dtn.simulator import Simulation
@@ -69,6 +70,9 @@ class RoutingScheme(abc.ABC):
         snapshot_b = node_b.prophet.snapshot(now)
         node_a.prophet.apply_transitivity(node_b.node_id, snapshot_b, now)
         node_b.prophet.apply_transitivity(node_a.node_id, snapshot_a, now)
+        telemetry = active_telemetry()
+        if telemetry is not None:
+            telemetry.on_encounter()
 
     def record_center_encounter(self, node: DTNNode, center: CommandCenter, now: float) -> None:
         """Update contact history and PROPHET state for a gateway uplink."""

@@ -1,0 +1,492 @@
+"""Tests for the observability subsystem (repro.obs).
+
+The contracts under test:
+
+* the metrics registry is Prometheus-shaped (golden text exposition) and
+  its JSON snapshots round-trip losslessly;
+* the disabled path (null registry, disabled telemetry) records nothing
+  and never perturbs a simulation -- telemetry-on and telemetry-off runs
+  produce byte-identical results;
+* the engine threads telemetry through cache and worker pool, and the
+  aggregated run manifest validates against the schema;
+* fault activations surface as ``repro_fault_events_total`` samples (the
+  counts the robustness study used to discard).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.dtn.tracelog import SimulationLog, attach_logging
+from repro.experiments import fig5
+from repro.experiments.engine import ExperimentEngine, ResultCache, RunPlan, RunUnit
+from repro.experiments.persistence import result_to_dict
+from repro.experiments.robustness_study import spec as robustness_spec
+from repro.experiments.runner import run_spec
+from repro.experiments.telemetry_study import run_telemetry_study, telemetry_report
+from repro.obs import (
+    NULL_PROFILER,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    Profiler,
+    SimTelemetry,
+    SimulationObserver,
+    activated,
+    active_telemetry,
+    build_manifest,
+    load_manifest,
+    merge_profiles,
+    registry_from_snapshot,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.manifest import merge_metric_snapshots, plan_hash
+
+SCALE = 0.05  # tiny but non-degenerate; one unit runs in ~25 ms
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
+
+
+def small_spec(seed: int = 0):
+    return fig5.spec(scale=SCALE, seed=seed)
+
+
+def reference_registry() -> MetricsRegistry:
+    """A deterministic registry covering all four metric kinds."""
+    r = MetricsRegistry()
+    requests = r.counter("demo_requests_total", "Requests served, by verb")
+    requests.labels(verb="get").inc(3)
+    requests.labels(verb="put").inc()
+    r.gauge("demo_temperature_celsius", "Current temperature").set(21.5)
+    latency = r.histogram(
+        "demo_latency_seconds", "Request latency", buckets=(0.1, 0.5, 1.0)
+    )
+    for value in (0.05, 0.3, 0.7, 2.0):
+        latency.observe(value)
+    phase = r.timer("demo_phase_seconds", "Phase wall-clock")
+    phase.observe(0.25)
+    phase.observe(0.75)
+    return r
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_counts_and_rejects_negatives(self):
+        r = MetricsRegistry()
+        c = r.counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_factories_are_idempotent_and_kind_checked(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+        with pytest.raises(ValueError):
+            r.gauge("x")
+
+    def test_labeled_children_are_distinct_series(self):
+        r = MetricsRegistry()
+        c = r.counter("contacts_total")
+        c.labels(scheme="photonet").inc(2)
+        c.labels(scheme="spray").inc()
+        assert c.labels(scheme="photonet") is c.labels(scheme="photonet")
+        samples = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in r.snapshot()["contacts_total"]["samples"]
+        }
+        assert samples == {(("scheme", "photonet"),): 2.0, (("scheme", "spray"),): 1.0}
+
+    def test_untouched_series_do_not_appear(self):
+        r = MetricsRegistry()
+        r.counter("silent")
+        assert r.snapshot()["silent"]["samples"] == []
+
+    def test_gauge_goes_both_ways(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+    def test_histogram_buckets_are_cumulative_in_prometheus(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", buckets=(1.0, 5.0))
+        for v in (0.5, 3.0, 9.0):
+            h.observe(v)
+        text = r.to_prometheus()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="5"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_timer_context_and_decorator(self):
+        r = MetricsRegistry()
+        t = r.timer("work")
+        with t.time():
+            pass
+
+        @t.wrap
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        assert t.count == 2
+        assert t.sum >= 0.0
+        assert "# TYPE work summary" in r.to_prometheus()
+
+    def test_golden_prometheus_exposition(self):
+        assert reference_registry().to_prometheus() == GOLDEN.read_text(encoding="utf-8")
+
+    def test_snapshot_round_trips(self):
+        snapshot = reference_registry().snapshot()
+        assert registry_from_snapshot(snapshot).snapshot() == snapshot
+
+    def test_snapshot_survives_json(self):
+        snapshot = reference_registry().snapshot()
+        rehydrated = json.loads(json.dumps(snapshot))
+        assert registry_from_snapshot(rehydrated).snapshot() == snapshot
+
+    def test_prometheus_survives_round_trip(self):
+        r = reference_registry()
+        assert registry_from_snapshot(r.snapshot()).to_prometheus() == r.to_prometheus()
+
+
+class TestNullRegistry:
+    def test_everything_is_a_noop(self):
+        assert NULL_REGISTRY.enabled is False
+        c = NULL_REGISTRY.counter("anything")
+        assert c is NULL_REGISTRY.gauge("other")  # one shared null metric
+        c.inc()
+        c.labels(a="b").observe(3)
+        with NULL_REGISTRY.timer("t").time():
+            pass
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.to_prometheus() == ""
+
+
+# ----------------------------------------------------------------------
+# Profiler
+# ----------------------------------------------------------------------
+
+
+class TestProfiler:
+    def test_phase_and_decorator_accumulate(self):
+        p = Profiler()
+        with p.phase("select"):
+            pass
+
+        @p.profile("select")
+        def f():
+            return 7
+
+        assert f() == 7
+        p.add("transfer", 0.5)
+        snap = p.snapshot()
+        assert snap["select"]["calls"] == 2
+        assert snap["transfer"] == {
+            "calls": 1, "total_s": 0.5, "min_s": 0.5, "max_s": 0.5,
+        }
+
+    def test_disabled_profiler_records_nothing(self):
+        with NULL_PROFILER.phase("x"):
+            pass
+        NULL_PROFILER.add("x", 1.0)
+        assert NULL_PROFILER.snapshot() == {}
+
+    def test_merge_profiles(self):
+        a = {"sel": {"calls": 2, "total_s": 1.0, "min_s": 0.4, "max_s": 0.6}}
+        b = {"sel": {"calls": 1, "total_s": 0.2, "min_s": 0.2, "max_s": 0.2},
+             "xfer": {"calls": 1, "total_s": 0.1, "min_s": 0.1, "max_s": 0.1}}
+        merged = merge_profiles([a, b])
+        assert merged["sel"] == {
+            "calls": 3, "total_s": 1.2, "min_s": 0.2, "max_s": 0.6,
+        }
+        assert merged["xfer"]["calls"] == 1
+
+
+# ----------------------------------------------------------------------
+# Runtime activation
+# ----------------------------------------------------------------------
+
+
+class TestRuntime:
+    def test_inactive_by_default(self):
+        assert active_telemetry() is None
+
+    def test_activation_nests_and_restores(self):
+        outer, inner = SimTelemetry(), SimTelemetry()
+        with activated(outer):
+            assert active_telemetry() is outer
+            with activated(inner):
+                assert active_telemetry() is inner
+            assert active_telemetry() is outer
+        assert active_telemetry() is None
+
+    def test_none_is_a_passthrough(self):
+        with activated(None):
+            assert active_telemetry() is None
+
+
+# ----------------------------------------------------------------------
+# SimTelemetry + simulation wiring
+# ----------------------------------------------------------------------
+
+
+class TestTelemetry:
+    def test_disabled_telemetry_accepts_every_hook(self):
+        tel = SimTelemetry(enabled=False)
+        tel.on_contact("contact")
+        tel.on_photo_created()
+        tel.on_selection(5, 3, 12, 2, 0.01, 0.002)
+        tel.on_transfer_outcome(3, 2, 0, 1, 100, 0, 50, True, 0.01)
+        tel.on_cache_event("hit", 4)
+        tel.on_encounter()
+        assert tel.snapshot()["metrics"] == {}
+        assert tel.snapshot()["profile"] == {}
+
+    def test_telemetry_never_perturbs_the_simulation(self):
+        plain = run_spec(small_spec(), "our-scheme")
+        tel = SimTelemetry()
+        instrumented = run_spec(small_spec(), "our-scheme", telemetry=tel)
+        assert result_to_dict(plain) == result_to_dict(instrumented)
+
+    def test_instrumented_run_records_the_paper_internals(self):
+        tel = SimTelemetry()
+        run_spec(small_spec(), "our-scheme", telemetry=tel)
+        snap = tel.snapshot()
+        metrics = snap["metrics"]
+
+        def total(name):
+            return sum(s["value"] for s in metrics.get(name, {}).get("samples", []))
+
+        assert total("repro_contacts_total") > 0
+        assert total("repro_transfer_bytes_total") > 0
+        assert total("repro_metadata_cache_events_total") > 0
+        assert total("repro_selection_iterations_total") > 0
+        assert snap["coverage_curve"], "uplinks must produce coverage points"
+        assert snap["buffer_occupancy"], "SAMPLE events must produce occupancy points"
+        assert set(snap["profile"]) == {"selection", "expected_coverage", "transfer"}
+        assert snap["scheme"] == "our-scheme"
+
+    def test_coverage_curve_is_monotone_in_delivered(self):
+        tel = SimTelemetry()
+        run_spec(small_spec(), "our-scheme", telemetry=tel)
+        delivered = [point["delivered"] for point in tel.coverage_curve]
+        assert delivered == sorted(delivered)
+
+    def test_fault_activations_surface_as_metrics(self):
+        tel = SimTelemetry()
+        run_spec(robustness_spec(1.0, scale=SCALE), "our-scheme", telemetry=tel)
+        samples = tel.snapshot()["metrics"]["repro_fault_events_total"]["samples"]
+        assert samples, "intensity-1.0 fault plan must activate faults"
+        assert all(s["value"] > 0 for s in samples)
+        assert any(s["labels"]["fault"] == "contacts_truncated" for s in samples)
+
+
+class TestObserverWiring:
+    def test_simulation_log_implements_the_protocol(self):
+        assert isinstance(SimulationLog(), SimulationObserver)
+        assert isinstance(SimTelemetry(), SimulationObserver)
+
+    def test_attach_logging_fans_out_to_observers(self):
+        from repro.experiments.runner import run_scenario
+        from repro.dtn.simulator import Simulation
+        from repro.routing import create_scheme
+
+        scenario = small_spec().build()
+        tel = SimTelemetry()
+        wrapped, log = attach_logging(create_scheme("our-scheme"), observers=(tel,))
+        Simulation(
+            trace=scenario.trace,
+            pois=scenario.pois,
+            photo_arrivals=scenario.photo_arrivals,
+            scheme=wrapped,
+            config=scenario.config,
+            gateway_ids=scenario.gateway_ids,
+            end_time_s=scenario.end_time_s,
+            telemetry=tel,
+        ).run()
+        assert len(log) > 0
+        movements = tel.snapshot()["metrics"]["repro_log_events_total"]["samples"]
+        observed = sum(s["value"] for s in movements)
+        assert observed > 0
+        expected = sum(
+            sum(len(ids) for ids in entry.gained.values())
+            + sum(len(ids) for ids in entry.lost.values())
+            + len(entry.delivered)
+            for entry in log.entries
+        )
+        assert observed == expected
+
+
+# ----------------------------------------------------------------------
+# Engine integration + manifest
+# ----------------------------------------------------------------------
+
+
+class TestEngineTelemetry:
+    def test_unit_key_depends_on_telemetry_flag(self):
+        unit = RunUnit(spec=small_spec(), scheme="our-scheme")
+        assert unit.key() != RunUnit(
+            spec=small_spec(), scheme="our-scheme", telemetry=True
+        ).key()
+
+    def test_engine_builds_a_valid_manifest(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        engine = ExperimentEngine(telemetry=True, manifest_path=manifest_path)
+        plan = RunPlan.comparison(small_spec(), ("our-scheme", "spray-and-wait"))
+        outcomes = engine.run(plan)
+        assert all(o.telemetry is not None for o in outcomes)
+        manifest = load_manifest(manifest_path)  # validates structurally
+        assert manifest == engine.last_manifest
+        assert manifest["schemes"] == ["our-scheme", "spray-and-wait"]
+
+        def total(name):
+            return sum(
+                s["value"] for s in manifest["metrics"][name]["samples"]
+            )
+
+        assert total("repro_contacts_total") > 0
+        assert total("repro_transfer_bytes_total") > 0
+        assert total("repro_metadata_cache_events_total") > 0
+        assert manifest["coverage_over_time"]["our-scheme"]
+        assert manifest["timings"]["profile"]["selection"]["calls"] > 0
+
+    def test_cached_units_keep_their_telemetry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        plan = RunPlan.comparison(small_spec(), ("our-scheme",))
+        first = ExperimentEngine(telemetry=True, cache=cache)
+        fresh = first.run(plan)
+        second = ExperimentEngine(telemetry=True, cache=cache)
+        served = second.run(plan)
+        assert [o.cached for o in fresh] == [False]
+        assert [o.cached for o in served] == [True]
+        assert served[0].telemetry["metrics"] == fresh[0].telemetry["metrics"]
+        assert second.last_manifest["metrics"] == first.last_manifest["metrics"]
+
+    def test_telemetry_off_engine_attaches_nothing(self):
+        outcomes = ExperimentEngine().run(
+            RunPlan.comparison(small_spec(), ("our-scheme",))
+        )
+        assert outcomes[0].telemetry is None
+
+    def test_telemetry_study_end_to_end(self, tmp_path):
+        manifest = run_telemetry_study(
+            scale=SCALE,
+            schemes=("our-scheme",),
+            engine=ExperimentEngine(),
+            manifest_path=tmp_path / "m.json",
+        )
+        assert validate_manifest(manifest) == []
+        report = telemetry_report(manifest)
+        assert "repro_contacts_total" in report
+        assert "wall-clock profile" in report
+
+
+class TestManifest:
+    def test_plan_hash_is_order_sensitive(self):
+        assert plan_hash(["a", "b"]) != plan_hash(["b", "a"])
+        assert plan_hash(["a", "b"]) == plan_hash(iter(["a", "b"]))
+
+    def test_merge_metric_snapshots_sums_counters_averages_gauges(self):
+        snap = lambda c, g: {
+            "hits": {"kind": "counter", "help": "", "samples": [
+                {"labels": {}, "value": c}]},
+            "depth": {"kind": "gauge", "help": "", "samples": [
+                {"labels": {}, "value": g}]},
+        }
+        merged = merge_metric_snapshots([snap(2, 10), snap(3, 20)])
+        assert merged["hits"]["samples"][0]["value"] == 5
+        assert merged["depth"]["samples"][0]["value"] == 15
+
+    def test_validate_rejects_structural_damage(self, tmp_path):
+        engine = ExperimentEngine(telemetry=True)
+        engine.run(RunPlan.comparison(small_spec(), ("our-scheme",)))
+        manifest = engine.last_manifest
+        assert validate_manifest(manifest) == []
+
+        broken = dict(manifest)
+        del broken["plan_hash"]
+        assert any("plan_hash" in e for e in validate_manifest(broken))
+
+        broken = dict(manifest, plan_hash="nothex")
+        assert any("plan_hash" in e for e in validate_manifest(broken))
+
+        broken = dict(manifest, units=[])
+        assert any("units" in e for e in validate_manifest(broken))
+
+        with pytest.raises(ValueError):
+            path = tmp_path / "broken.json"
+            path.write_text(json.dumps(dict(manifest, schemes=[])))
+            load_manifest(path)
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        engine = ExperimentEngine(telemetry=True)
+        engine.run(RunPlan.comparison(small_spec(), ("our-scheme",)))
+        path = write_manifest(tmp_path / "deep" / "m.json", engine.last_manifest)
+        assert load_manifest(path) == engine.last_manifest
+
+    def test_build_manifest_counts_cached_and_executed(self):
+        engine = ExperimentEngine(telemetry=True)
+        outcomes = engine.run(RunPlan.comparison(small_spec(), ("our-scheme",)))
+        manifest = build_manifest(outcomes)
+        assert manifest["timings"]["executed_units"] == 1
+        assert manifest["timings"]["cached_units"] == 0
+        assert manifest["seeds"] == [0]
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    def _write_manifest(self, tmp_path) -> Path:
+        engine = ExperimentEngine(telemetry=True)
+        engine.run(RunPlan.comparison(small_spec(), ("our-scheme",)))
+        return write_manifest(tmp_path / "manifest.json", engine.last_manifest)
+
+    def test_metrics_command_summarizes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._write_manifest(tmp_path)
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_contacts_total" in out
+
+    def test_metrics_command_prometheus(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._write_manifest(tmp_path)
+        assert main(["metrics", str(path), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_contacts_total counter" in out
+
+    def test_metrics_command_rejects_invalid(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main(["metrics", str(path)]) == 1
+
+    def test_telemetry_flag_writes_manifest(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "fig5", "--scale", str(SCALE), "--runs", "1",
+            "--no-cache", "--telemetry",
+        ])
+        assert code == 0
+        manifest = load_manifest(tmp_path / "manifest.json")
+        assert manifest["schemes"]
