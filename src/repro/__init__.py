@@ -16,13 +16,19 @@ Quickstart::
 
     results = fig5.run(scale=0.25, num_runs=1)
     print(fig5.report(results))
+
+Subpackages load lazily (PEP 562): ``repro.core`` and everything it
+needs import without numpy (the pure-python selection backend is a
+first-class configuration, see :mod:`repro.core.backend`), while the
+numerical subpackages (traces, sensors, workload, experiments) pull in
+numpy only when actually used.
 """
 
-from . import core, dtn, experiments, metadata_mgmt, obs, routing, sensors, traces, workload
+import importlib
 
 __version__ = "1.0.0"
 
-__all__ = [
+_SUBPACKAGES = (
     "core",
     "dtn",
     "experiments",
@@ -32,5 +38,18 @@ __all__ = [
     "sensors",
     "traces",
     "workload",
-    "__version__",
-]
+)
+
+__all__ = list(_SUBPACKAGES) + ["__version__"]
+
+
+def __getattr__(name):
+    if name in _SUBPACKAGES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module  # cache: subsequent access skips this hook
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SUBPACKAGES))

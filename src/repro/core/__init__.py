@@ -16,7 +16,8 @@ Public surface:
   :func:`~repro.core.transfer.execute_transfer_plan`.
 """
 
-from .angular import AngularInterval, ArcSet, angle_difference, normalize_angle
+from .angular import AngularInterval, ArcSet, angle_difference, merge_segments, normalize_angle
+from .backend import active_backend, numpy_available, set_backend, use_backend
 from .coverage import (
     DEFAULT_EFFECTIVE_ANGLE,
     CoverageValue,
@@ -45,6 +46,7 @@ from .selection import (
     StorageSpec,
     greedy_reallocate,
     greedy_select,
+    greedy_select_reference,
 )
 from .transfer import (
     Transfer,
@@ -58,7 +60,12 @@ __all__ = [
     "AngularInterval",
     "ArcSet",
     "angle_difference",
+    "merge_segments",
     "normalize_angle",
+    "active_backend",
+    "numpy_available",
+    "set_backend",
+    "use_backend",
     "DEFAULT_EFFECTIVE_ANGLE",
     "CoverageValue",
     "aspect_coverage",
@@ -93,6 +100,7 @@ __all__ = [
     "StorageSpec",
     "greedy_reallocate",
     "greedy_select",
+    "greedy_select_reference",
     "Transfer",
     "TransferOutcome",
     "TransferPlan",

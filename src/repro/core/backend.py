@@ -1,0 +1,174 @@
+"""Numerical backend selection for the coverage/selection hot path.
+
+The greedy selection kernel (:mod:`repro.core.expected_coverage` /
+:mod:`repro.core.selection`) ships two interchangeable implementations:
+
+* ``python`` -- the pure-python reference.  Always available, no third-party
+  imports, and the oracle every other backend is differentially tested
+  against.
+* ``numpy`` -- vectorized angular-interval sweeps and batched per-PoI
+  survival integrals.  Selected by default when numpy imports cleanly.
+
+Resolution order for :func:`active_backend`:
+
+1. an explicit :func:`set_backend` / :func:`use_backend` override,
+2. the ``REPRO_BACKEND`` environment variable (``numpy`` or ``python``),
+3. ``numpy`` when numpy is importable, else ``python``.
+
+Explicitly requesting ``numpy`` (via either override or the environment)
+on an interpreter without numpy raises -- silently falling back would turn
+a deployment mistake into a 10x slowdown.  Leaving the backend unset
+always works: the fallback is automatic.
+
+The module also owns the adaptive cutover constants.  They are plain
+module attributes (env-overridable at import) so tests can monkeypatch
+them and the bench can report them:
+
+``NUMPY_POOL_CUTOVER``
+    Selection pools smaller than this skip the numpy path even when the
+    numpy backend is active: array setup costs more than it saves on a
+    handful of candidates.  Env: ``REPRO_NUMPY_POOL_CUTOVER``.
+``REBUILD_POOL_CUTOVER``
+    Pure-python evaluators at or below this pool size use the ``rebuild``
+    strategy (fold the tentative selection into the background survival
+    profile on every commit) instead of ``incremental`` exclude-segment
+    bookkeeping; see :class:`repro.core.expected_coverage.SelectionEvaluator`.
+    Env: ``REPRO_REBUILD_POOL_CUTOVER``.
+``NUMPY_SWEEP_CUTOVER``
+    Minimum number of arc endpoints before the expected-coverage endpoint
+    sweep switches to the vectorized kernel.  Env:
+    ``REPRO_NUMPY_SWEEP_CUTOVER``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+try:  # numpy is an optional accelerator, never a hard requirement here.
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised on no-numpy interpreters
+    _numpy = None
+
+__all__ = [
+    "BACKEND_ENV",
+    "STRATEGY_ENV",
+    "BACKENDS",
+    "STRATEGIES",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+    "numpy_available",
+    "get_numpy",
+    "resolve_strategy",
+]
+
+BACKEND_ENV = "REPRO_BACKEND"
+STRATEGY_ENV = "REPRO_SELECTION_STRATEGY"
+BACKENDS = ("numpy", "python")
+STRATEGIES = ("auto", "incremental", "rebuild")
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from exc
+
+
+NUMPY_POOL_CUTOVER = _env_int("REPRO_NUMPY_POOL_CUTOVER", 24)
+REBUILD_POOL_CUTOVER = _env_int("REPRO_REBUILD_POOL_CUTOVER", 96)
+NUMPY_SWEEP_CUTOVER = _env_int("REPRO_NUMPY_SWEEP_CUTOVER", 24)
+
+_forced: Optional[str] = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be selected at all."""
+    return _numpy is not None
+
+
+def get_numpy():
+    """The numpy module, or a clear error when it is not importable."""
+    if _numpy is None:
+        raise RuntimeError(
+            "the numpy backend was requested but numpy is not importable; "
+            f"install numpy or unset {BACKEND_ENV}"
+        )
+    return _numpy
+
+
+def _validated(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; choose one of {BACKENDS}")
+    if name == "numpy":
+        get_numpy()  # raises with the actionable message when absent
+    return name
+
+
+def active_backend() -> str:
+    """The backend hot paths should dispatch on right now."""
+    if _forced is not None:
+        return _forced
+    env = os.environ.get(BACKEND_ENV)
+    if env:
+        return _validated(env.strip().lower())
+    return "numpy" if _numpy is not None else "python"
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Force the backend process-wide; ``None`` restores automatic resolution."""
+    global _forced
+    _forced = None if name is None else _validated(name)
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Force the backend for the duration of a ``with`` block (re-entrant)."""
+    global _forced
+    validated = _validated(name)
+    previous = _forced
+    _forced = validated
+    try:
+        yield validated
+    finally:
+        _forced = previous
+
+
+def resolve_strategy(
+    strategy: Optional[str],
+    backend_name: str,
+    pool_size_hint: Optional[int],
+) -> str:
+    """Resolve a :class:`SelectionEvaluator` strategy request to a concrete one.
+
+    Explicit ``incremental`` / ``rebuild`` (argument first, then the
+    ``REPRO_SELECTION_STRATEGY`` environment variable) win; ``auto`` (or
+    ``None``) applies the adaptive cutover:
+
+    * the numpy backend always rebuilds -- folding the tentative selection
+      into the precomputed survival prefix keeps every gain query a pure
+      vectorized lookup with no exclude-segment bookkeeping;
+    * pure python rebuilds for pools at or below ``REBUILD_POOL_CUTOVER``
+      (tiny profiles make the per-commit rebuild nearly free and the
+      queries branchless) and keeps the incremental exclude bookkeeping
+      above it, where per-commit rebuilds of large survival profiles would
+      dominate.
+    """
+    for candidate in (strategy, os.environ.get(STRATEGY_ENV)):
+        if candidate is None or candidate == "auto" or candidate == "":
+            continue
+        if candidate not in STRATEGIES:
+            raise ValueError(
+                f"unknown selection strategy {candidate!r}; choose one of {STRATEGIES}"
+            )
+        return candidate
+    if backend_name == "numpy":
+        return "rebuild"
+    if pool_size_hint is not None and pool_size_hint <= REBUILD_POOL_CUTOVER:
+        return "rebuild"
+    return "incremental"

@@ -33,7 +33,14 @@ from .coverage_index import CoverageIndex
 from .expected_coverage import NodeProfile, SelectionEvaluator
 from .metadata import Photo
 
-__all__ = ["StorageSpec", "NodeSelection", "ReallocationResult", "greedy_reallocate", "greedy_select"]
+__all__ = [
+    "StorageSpec",
+    "NodeSelection",
+    "ReallocationResult",
+    "greedy_reallocate",
+    "greedy_select",
+    "greedy_select_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -114,7 +121,9 @@ def greedy_select(
     when *require_positive_gain* -- no photo strictly improves expected
     coverage.
     """
-    evaluator = SelectionEvaluator(index, background, storage.delivery_probability)
+    evaluator = SelectionEvaluator(
+        index, background, storage.delivery_probability, pool_size_hint=len(pool)
+    )
     selection = NodeSelection(node_id=storage.node_id)
     budget = storage.capacity_bytes
 
@@ -129,11 +138,13 @@ def greedy_select(
     # grows -- see SelectionEvaluator.gain_of), so a max-heap of possibly
     # stale gains is exact: when the top entry's gain is fresh it is the
     # true argmax.  Heap keys order by lexicographic gain (descending),
-    # then smaller photo, then smaller id for determinism.
+    # then smaller photo, then smaller id for determinism.  The initial
+    # scan is one batched evaluation -- on the numpy backend the whole
+    # pool's aspect integrals vectorize per PoI.
     heap: List[Tuple[float, float, int, int, Photo]] = []
-    for photo in pool:
-        gain = evaluator.gain_of(photo)
-        gain_evaluations += 1
+    initial_gains = evaluator.gain_of_batch(pool)
+    gain_evaluations += len(pool)
+    for photo, gain in zip(pool, initial_gains):
         if require_positive_gain and not gain.is_positive():
             # Submodularity: a photo with no gain now never gains later.
             continue
@@ -178,6 +189,90 @@ def greedy_select(
             selected=len(selection.photos),
             elapsed_s=perf_counter() - started,
             enumeration_s=enumeration_s,
+            backend=evaluator.backend,
+            strategy=evaluator.strategy,
+        )
+    return selection
+
+
+def greedy_select_reference(
+    index: CoverageIndex,
+    pool: Sequence[Photo],
+    storage: StorageSpec,
+    background: Sequence[NodeProfile],
+    require_positive_gain: bool = True,
+    strategy: Optional[str] = None,
+    backend: Optional[str] = None,
+) -> NodeSelection:
+    """Naive evaluate-all-candidates greedy: the full-rebuild reference.
+
+    Each round constructs a **fresh** :class:`SelectionEvaluator` from the
+    background, replays the tentative selection into it, evaluates every
+    remaining candidate, and commits the one with the lexicographically
+    largest gain (same tie-break as :func:`greedy_select`: smaller photo,
+    then smaller ``photo_id``).  No lazy heap, no incremental profile
+    reuse -- ``O(rounds * pool)`` gain evaluations and a full profile
+    rebuild per round.
+
+    This is the oracle :func:`greedy_select` is tested byte-identical
+    against (same *strategy*/*backend* implies bitwise-equal gain values,
+    and submodularity makes the CELF heap pick the same argmax), and the
+    pure-python baseline ``scripts/bench_core.py`` measures speedups over.
+    """
+    selection = NodeSelection(node_id=storage.node_id)
+    budget = storage.capacity_bytes
+    remaining = list(pool)
+
+    telemetry = active_telemetry()
+    started = perf_counter() if telemetry is not None else 0.0
+    gain_evaluations = 0
+    iterations = 0
+    evaluator = None
+
+    while remaining:
+        iterations += 1
+        evaluator = SelectionEvaluator(
+            index,
+            background,
+            storage.delivery_probability,
+            strategy=strategy,
+            backend=backend,
+            pool_size_hint=len(pool),
+        )
+        for photo in selection.photos:
+            evaluator.add(photo)
+        best = None
+        for photo in remaining:
+            if budget is not None and photo.size_bytes > budget:
+                continue
+            gain = evaluator.gain_of(photo)
+            gain_evaluations += 1
+            key = (-gain.point, -gain.aspect, photo.size_bytes, photo.photo_id)
+            if best is None or key < best[0]:
+                best = (key, photo, gain)
+        if best is None:
+            break
+        _, photo, gain = best
+        if require_positive_gain and not gain.is_positive():
+            break
+        selection.photos.append(photo)
+        selection.gains.append(gain)
+        remaining.remove(photo)
+        if budget is not None:
+            budget -= photo.size_bytes
+            if budget <= 0:
+                break
+
+    if telemetry is not None:
+        telemetry.on_selection(
+            pool_size=len(pool),
+            iterations=iterations,
+            gain_evaluations=gain_evaluations,
+            selected=len(selection.photos),
+            elapsed_s=perf_counter() - started,
+            enumeration_s=0.0,
+            backend=evaluator.backend if evaluator is not None else "python",
+            strategy="reference",
         )
     return selection
 

@@ -1,67 +1,58 @@
-"""Contact traces: model, parsers, synthetic generators, mobility models."""
+"""Contact traces: model, parsers, synthetic generators, mobility models.
 
-from .analysis import (
-    ExponentialFit,
-    exponential_fit_report,
-    fit_pair_exponential,
-    intercontact_ccdf,
-    rate_heterogeneity,
-)
-from .churn import ChurnModel, apply_churn
-from .graph import (
-    GATEWAY_STRATEGIES,
-    contact_graph,
-    graph_summary,
-    select_gateways_betweenness,
-    select_gateways_degree,
-    select_gateways_random,
-)
-from .model import ContactRecord, ContactTrace
-from .transforms import bootstrap_trace, subsample_nodes, time_scale
-from .parser import (
-    TraceParseError,
-    load_trace,
-    parse_csv,
-    parse_imote,
-    parse_one_events,
-    write_csv,
-)
-from .synthetic import (
-    SyntheticTraceSpec,
-    cambridge06_like,
-    gateway_uplink_contacts,
-    generate_trace,
-    mit_reality_like,
-)
+Re-exports load lazily (PEP 562): the trace *model* and parsers are pure
+python, but analysis/synthesis/mobility are numpy-backed.  Importing this
+package -- which :mod:`repro.dtn.simulator` does for ``ContactTrace`` --
+must therefore not touch the numerical modules, or the pure-python
+selection backend could never run on a numpy-free interpreter.
+"""
 
-__all__ = [
-    "ExponentialFit",
-    "exponential_fit_report",
-    "fit_pair_exponential",
-    "intercontact_ccdf",
-    "rate_heterogeneity",
-    "ChurnModel",
-    "apply_churn",
-    "GATEWAY_STRATEGIES",
-    "contact_graph",
-    "graph_summary",
-    "select_gateways_betweenness",
-    "select_gateways_degree",
-    "select_gateways_random",
-    "ContactRecord",
-    "ContactTrace",
-    "bootstrap_trace",
-    "subsample_nodes",
-    "time_scale",
-    "TraceParseError",
-    "load_trace",
-    "parse_csv",
-    "parse_imote",
-    "parse_one_events",
-    "write_csv",
-    "SyntheticTraceSpec",
-    "cambridge06_like",
-    "gateway_uplink_contacts",
-    "generate_trace",
-    "mit_reality_like",
-]
+import importlib
+
+#: re-exported name -> defining submodule
+_EXPORTS = {
+    "ExponentialFit": "analysis",
+    "exponential_fit_report": "analysis",
+    "fit_pair_exponential": "analysis",
+    "intercontact_ccdf": "analysis",
+    "rate_heterogeneity": "analysis",
+    "ChurnModel": "churn",
+    "apply_churn": "churn",
+    "GATEWAY_STRATEGIES": "graph",
+    "contact_graph": "graph",
+    "graph_summary": "graph",
+    "select_gateways_betweenness": "graph",
+    "select_gateways_degree": "graph",
+    "select_gateways_random": "graph",
+    "ContactRecord": "model",
+    "ContactTrace": "model",
+    "bootstrap_trace": "transforms",
+    "subsample_nodes": "transforms",
+    "time_scale": "transforms",
+    "TraceParseError": "parser",
+    "load_trace": "parser",
+    "parse_csv": "parser",
+    "parse_imote": "parser",
+    "parse_one_events": "parser",
+    "write_csv": "parser",
+    "SyntheticTraceSpec": "synthetic",
+    "cambridge06_like": "synthetic",
+    "gateway_uplink_contacts": "synthetic",
+    "generate_trace": "synthetic",
+    "mit_reality_like": "synthetic",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    submodule = _EXPORTS.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(f".{submodule}", __name__), name)
+    globals()[name] = value  # cache: subsequent access skips this hook
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
