@@ -36,11 +36,46 @@ _SUBPACKAGES = (
     "obs",
     "routing",
     "sensors",
+    "service",
     "traces",
     "workload",
 )
 
-__all__ = list(_SUBPACKAGES) + ["__version__"]
+#: The stable top-level entry points (see ``docs/API.md``), loaded
+#: lazily like the subpackages: ``from repro import create_scheme``
+#: works without importing numpy-heavy subsystems you don't use.
+_LAZY_ATTRS = {
+    # scheme registry (repro.routing)
+    "register_scheme": "repro.routing.registry",
+    "unregister_scheme": "repro.routing.registry",
+    "create_scheme": "repro.routing.registry",
+    "scheme_names": "repro.routing.registry",
+    "scheme_defaults": "repro.routing.registry",
+    "parse_scheme_spec": "repro.routing.registry",
+    "UnknownSchemeError": "repro.routing.registry",
+    # simulator (repro.dtn)
+    "Simulation": "repro.dtn.simulator",
+    "SimulationConfig": "repro.dtn.simulator",
+    "SimulationResult": "repro.dtn.simulator",
+    # experiment engine (repro.experiments)
+    "ScenarioSpec": "repro.experiments.config",
+    "ExperimentEngine": "repro.experiments.engine",
+    "RunPlan": "repro.experiments.engine",
+    "RunUnit": "repro.experiments.engine",
+    "default_engine": "repro.experiments.engine",
+    # observability (repro.obs)
+    "MetricsRegistry": "repro.obs.registry",
+    "SimTelemetry": "repro.obs.telemetry",
+    # service mode (repro.service)
+    "CommandCenterServer": "repro.service.server",
+    "ServiceClient": "repro.service.client",
+    "ServiceSession": "repro.service.session",
+    "RoutingConfig": "repro.service.router",
+    "SchemeRouter": "repro.service.router",
+    "replay_scenario": "repro.service.client",
+}
+
+__all__ = list(_SUBPACKAGES) + sorted(_LAZY_ATTRS) + ["__version__"]
 
 
 def __getattr__(name):
@@ -48,8 +83,12 @@ def __getattr__(name):
         module = importlib.import_module(f".{name}", __name__)
         globals()[name] = module  # cache: subsequent access skips this hook
         return module
+    if name in _LAZY_ATTRS:
+        value = getattr(importlib.import_module(_LAZY_ATTRS[name]), name)
+        globals()[name] = value
+        return value
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__():
-    return sorted(set(globals()) | set(_SUBPACKAGES))
+    return sorted(set(globals()) | set(_SUBPACKAGES) | set(_LAZY_ATTRS))

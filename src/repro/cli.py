@@ -8,6 +8,8 @@ Installed as the ``repro`` console script::
     repro demo --seed 3
     repro trace-stats --scale 0.2   # Sec. III-B exponential-fit check
     repro ablation pthld            # design-knob sweeps
+    repro serve --port 7616         # always-on command-center service
+    repro replay --port 7616        # stream a scenario through it
 
 Every command prints the same text tables the benchmark harness writes to
 ``benchmarks/results/``.
@@ -207,6 +209,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the aggregated metrics in Prometheus text exposition format",
     )
 
+    serve = sub.add_parser(
+        "serve", help="always-on command-center service (JSON lines + GET /metrics)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7616, help="0 = ephemeral")
+    serve.add_argument("--scale", type=float, default=0.1, help="world scale (0, 1]")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--trace", choices=[TRACE_MIT, TRACE_CAMBRIDGE], default=TRACE_MIT
+    )
+    serve.add_argument(
+        "--champion", default="our-scheme", metavar="SPEC",
+        help="authoritative scheme spec (registry grammar, e.g. 'our-scheme')",
+    )
+    serve.add_argument(
+        "--challenger", default=None, metavar="SPEC",
+        help="challenger scheme spec for A/B routing (default: none)",
+    )
+    serve.add_argument(
+        "--challenger-pct", type=float, default=0.0,
+        help="percent of users deterministically routed to the challenger",
+    )
+    serve.add_argument("--salt", default="", help="routing hash salt")
+    serve.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="write the service-session manifest here on shutdown",
+    )
+
+    replay = sub.add_parser(
+        "replay", help="feed a scenario's event stream through a live server"
+    )
+    replay.add_argument("--host", default="127.0.0.1")
+    replay.add_argument("--port", type=int, default=7616)
+    replay.add_argument("--scale", type=float, default=0.1, help="must match the server's")
+    replay.add_argument("--seed", type=int, default=0, help="must match the server's")
+    replay.add_argument(
+        "--trace", choices=[TRACE_MIT, TRACE_CAMBRIDGE], default=TRACE_MIT
+    )
+    replay.add_argument(
+        "--limit", type=int, default=None, help="replay only the first N events"
+    )
+    replay.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the server to exit (and write its manifest) after the replay",
+    )
+
     ablation = sub.add_parser("ablation", help="design-knob sweeps")
     ablation.add_argument(
         "study",
@@ -235,6 +283,8 @@ def _cmd_list() -> int:
         ["trace-stats", "Sec. III-B exponential inter-contact check"],
         ["telemetry", "instrumented run: metrics + profile -> manifest.json"],
         ["metrics", "validate and summarize a run manifest (--prometheus)"],
+        ["serve", "always-on command-center service (--challenger for A/B)"],
+        ["replay", "stream a scenario through a live server (--shutdown)"],
         ["ablation", "pthld | theta | floor | gateways | estimators"],
     ]
     print(format_table(["command", "what it reproduces"], rows))
@@ -291,6 +341,76 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         print(format_table(["estimator", "point", "aspect-deg", "time"], rows))
     if args.study in ("pthld", "theta", "floor"):
         _note_manifest(engine)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .experiments.config import ScenarioSpec
+    from .service import CommandCenterServer, RoutingConfig
+
+    spec = ScenarioSpec(trace_name=args.trace, scale=args.scale, seed=args.seed)
+    scenario = spec.build()
+    try:
+        routing = RoutingConfig(
+            champion=args.champion,
+            challenger=args.challenger,
+            champion_pct=100.0 - args.challenger_pct,
+            challenger_pct=args.challenger_pct,
+            salt=args.salt,
+        )
+    except ValueError as exc:
+        print(f"invalid routing config: {exc}", file=sys.stderr)
+        return 2
+    server = CommandCenterServer(
+        pois=scenario.pois,
+        config=scenario.config,
+        routing=routing,
+        host=args.host,
+        port=args.port,
+        manifest_path=args.manifest,
+        ready_callback=lambda host, port: print(
+            f"repro service listening on {host}:{port} "
+            f"(champion={routing.champion!r}"
+            + (
+                f", challenger={routing.challenger!r}"
+                f" at {routing.challenger_pct:g}%"
+                if routing.challenger
+                else ""
+            )
+            + ")",
+            file=sys.stderr,
+            flush=True,
+        ),
+    )
+    try:
+        server.run()
+    except KeyboardInterrupt:
+        pass
+    if args.manifest:
+        print(f"service manifest written to {args.manifest}", file=sys.stderr)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .experiments.config import ScenarioSpec
+    from .service import ServiceClient, replay_scenario
+
+    spec = ScenarioSpec(trace_name=args.trace, scale=args.scale, seed=args.seed)
+    scenario = spec.build()
+    try:
+        client = ServiceClient(host=args.host, port=args.port)
+    except OSError as exc:
+        print(f"cannot reach server at {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    with client:
+        report = replay_scenario(
+            client,
+            scenario,
+            limit=args.limit,
+            shutdown=args.shutdown,
+            progress=lambda n: print(f"  {n} events replayed", file=sys.stderr),
+        )
+    print(report.describe())
     return 0
 
 
@@ -423,6 +543,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "trace-stats":
         return _cmd_trace_stats(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "ablation":
         return _cmd_ablation(args)
 

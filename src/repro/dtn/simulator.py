@@ -247,6 +247,114 @@ class Simulation:
         return self.index.incidences(photo)
 
     # ------------------------------------------------------------------
+    # Event handlers (the contact-handling seam)
+    #
+    # The event loop below and the always-on service mode
+    # (:mod:`repro.service`) drive the exact same handlers, which is what
+    # makes a selection served live byte-identical to the one the
+    # simulator produces for the same pool and seed.
+    # ------------------------------------------------------------------
+
+    def ensure_node(self, node_id: int, is_gateway: bool = False) -> DTNNode:
+        """Get-or-create the participant *node_id*.
+
+        The simulator pre-creates every node from the trace; service mode
+        has no trace, so nodes materialize on their first request.  Node
+        construction is independent of creation order, keeping live and
+        simulated runs equivalent.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            node = DTNNode(
+                node_id=node_id,
+                storage_bytes=self.config.storage_bytes,
+                is_gateway=is_gateway,
+                prophet_params=self.config.prophet,
+                validity_threshold=self.config.validity_threshold,
+                command_center_id=self.config.command_center_id,
+            )
+            if self.faults is not None:
+                node.faults = self.faults
+            self.nodes[node_id] = node
+        return node
+
+    def handle_photo_created(self, owner_id: int, photo: Photo, now: float) -> bool:
+        """A participant takes *photo* at *now*; returns True if dispatched.
+
+        Unknown owners are ignored (malformed traces tolerated), photos
+        taken while the owner is crashed are counted as missed.
+        """
+        self._now = now
+        node = self.nodes.get(owner_id)
+        if node is None:
+            return False
+        if not node.alive:
+            self.result.fault_counters.photos_missed_while_down += 1
+            return False
+        self.result.created_photos += 1
+        if self.telemetry is not None:
+            self.telemetry.on_photo_created()
+        self.scheme.on_photo_created(node, photo, now)
+        return True
+
+    def handle_contact(
+        self,
+        node_a_id: int,
+        node_b_id: int,
+        now: float,
+        duration: float,
+        bandwidth_scale: float = 1.0,
+    ) -> bool:
+        """Dispatch one contact (node-node or gateway uplink) to the scheme.
+
+        Returns True if the scheme saw the contact, False if it was
+        skipped (self-contact, unknown or crashed participant).
+        """
+        self._now = now
+        tel = self.telemetry
+        cc_id = self.config.command_center_id
+        counters = self.result.fault_counters
+        self._bandwidth_scale = bandwidth_scale
+        try:
+            if node_a_id == node_b_id:
+                # A node never meets itself; tolerate malformed input.
+                return False
+            if cc_id in (node_a_id, node_b_id):
+                participant_id = node_b_id if node_a_id == cc_id else node_a_id
+                node = self.nodes.get(participant_id)
+                if node is None:
+                    return False
+                if not node.alive:
+                    counters.contacts_skipped_node_down += 1
+                    return False
+                self.result.center_contacts += 1
+                if tel is not None:
+                    tel.on_contact("uplink")
+                self.scheme.on_command_center_contact(
+                    node, self.command_center, now, duration
+                )
+                if tel is not None:
+                    point, aspect = self.index.normalized(self.center_coverage())
+                    tel.on_uplink_coverage(
+                        now, point, aspect, self.command_center.received_count
+                    )
+            else:
+                node_a = self.nodes.get(node_a_id)
+                node_b = self.nodes.get(node_b_id)
+                if node_a is None or node_b is None:
+                    return False
+                if not node_a.alive or not node_b.alive:
+                    counters.contacts_skipped_node_down += 1
+                    return False
+                self.result.contacts_processed += 1
+                if tel is not None:
+                    tel.on_contact("contact")
+                self.scheme.on_contact(node_a, node_b, now, duration)
+            return True
+        finally:
+            self._bandwidth_scale = 1.0
+
+    # ------------------------------------------------------------------
     # The event loop
     # ------------------------------------------------------------------
 
@@ -267,64 +375,17 @@ class Simulation:
         return self.result
 
     def _run_loop(self) -> None:
-        cc_id = self.config.command_center_id
         counters = self.result.fault_counters
-        tel = self.telemetry
         while self._queue:
             event = self._queue.pop()
             self._now = event.time
             if event.kind == EventKind.PHOTO_CREATED:
                 owner_id, photo = event.payload
-                node = self.nodes.get(owner_id)
-                if node is None:
-                    continue
-                if not node.alive:
-                    counters.photos_missed_while_down += 1
-                    continue
-                self.result.created_photos += 1
-                if tel is not None:
-                    tel.on_photo_created()
-                self.scheme.on_photo_created(node, photo, event.time)
+                self.handle_photo_created(owner_id, photo, event.time)
             elif event.kind == EventKind.CONTACT:
                 node_a_id, node_b_id, duration = event.payload[:3]
-                self._bandwidth_scale = event.payload[3] if len(event.payload) > 3 else 1.0
-                try:
-                    if node_a_id == node_b_id:
-                        # A node never meets itself; tolerate malformed input.
-                        continue
-                    if cc_id in (node_a_id, node_b_id):
-                        participant_id = node_b_id if node_a_id == cc_id else node_a_id
-                        node = self.nodes.get(participant_id)
-                        if node is None:
-                            continue
-                        if not node.alive:
-                            counters.contacts_skipped_node_down += 1
-                            continue
-                        self.result.center_contacts += 1
-                        if tel is not None:
-                            tel.on_contact("uplink")
-                        self.scheme.on_command_center_contact(
-                            node, self.command_center, event.time, duration
-                        )
-                        if tel is not None:
-                            point, aspect = self.index.normalized(self.center_coverage())
-                            tel.on_uplink_coverage(
-                                event.time, point, aspect, self.command_center.received_count
-                            )
-                    else:
-                        node_a = self.nodes.get(node_a_id)
-                        node_b = self.nodes.get(node_b_id)
-                        if node_a is None or node_b is None:
-                            continue
-                        if not node_a.alive or not node_b.alive:
-                            counters.contacts_skipped_node_down += 1
-                            continue
-                        self.result.contacts_processed += 1
-                        if tel is not None:
-                            tel.on_contact("contact")
-                        self.scheme.on_contact(node_a, node_b, event.time, duration)
-                finally:
-                    self._bandwidth_scale = 1.0
+                scale = event.payload[3] if len(event.payload) > 3 else 1.0
+                self.handle_contact(node_a_id, node_b_id, event.time, duration, scale)
             elif event.kind == EventKind.NODE_CRASH:
                 node_id, restart_time = event.payload
                 node = self.nodes.get(node_id)

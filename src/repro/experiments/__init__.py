@@ -30,7 +30,6 @@ from .config import TRACE_CAMBRIDGE, TRACE_MIT, Scenario, ScenarioSpec, TableISe
 from .report import format_comparison, format_series, format_sweep, format_table
 from .runner import (
     PAPER_SCHEMES,
-    SCHEME_FACTORIES,
     AveragedResult,
     average_results,
     run_comparison,
@@ -73,7 +72,6 @@ __all__ = [
     "format_sweep",
     "format_table",
     "PAPER_SCHEMES",
-    "SCHEME_FACTORIES",
     "AveragedResult",
     "average_results",
     "run_comparison",

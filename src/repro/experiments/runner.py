@@ -9,8 +9,8 @@ compatibility shims (:func:`run_spec`, :func:`run_comparison`) so
 existing callers and tests are untouched.
 
 Scheme construction goes through the decorator registry in
-:mod:`repro.routing.registry`.  The old ``SCHEME_FACTORIES`` dict remains
-as a deprecated read-only view of that registry.
+:mod:`repro.routing.registry` -- ``create_scheme(spec)`` with the shared
+``"name:k=v"`` spec grammar; enumerate with ``scheme_names()``.
 """
 
 from __future__ import annotations
@@ -20,7 +20,6 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..dtn.simulator import Simulation, SimulationConfig, SimulationResult
 from ..routing import create_scheme
-from ..routing.registry import DeprecatedFactoryView
 from .config import Scenario, ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -28,7 +27,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import ExperimentEngine
 
 __all__ = [
-    "SCHEME_FACTORIES",
     "PAPER_SCHEMES",
     "AveragedResult",
     "run_spec",
@@ -36,10 +34,6 @@ __all__ = [
     "run_scenario",
     "average_results",
 ]
-
-#: Deprecated read-only view of the scheme registry; use
-#: :func:`repro.routing.create_scheme` instead.
-SCHEME_FACTORIES = DeprecatedFactoryView()
 
 #: The five schemes compared in Fig. 5-8, in the paper's legend order.
 PAPER_SCHEMES: Sequence[str] = (

@@ -29,10 +29,13 @@ inspect with ``repro metrics <manifest.json>``, or programmatically::
 
 from .manifest import (
     MANIFEST_SCHEMA_VERSION,
+    SERVICE_MANIFEST_SCHEMA_VERSION,
     ManifestError,
     build_manifest,
+    build_service_manifest,
     load_manifest,
     validate_manifest,
+    validate_service_manifest,
     write_manifest,
 )
 from .profiler import NULL_PROFILER, PhaseStats, Profiler, merge_profiles
@@ -67,8 +70,11 @@ __all__ = [
     "active_telemetry",
     "ManifestError",
     "MANIFEST_SCHEMA_VERSION",
+    "SERVICE_MANIFEST_SCHEMA_VERSION",
     "build_manifest",
+    "build_service_manifest",
     "load_manifest",
     "validate_manifest",
+    "validate_service_manifest",
     "write_manifest",
 ]

@@ -25,17 +25,23 @@ from .profiler import merge_profiles
 
 __all__ = [
     "MANIFEST_SCHEMA_VERSION",
+    "SERVICE_MANIFEST_SCHEMA_VERSION",
     "ManifestError",
     "build_manifest",
+    "build_service_manifest",
     "merge_metric_snapshots",
     "plan_hash",
     "validate_manifest",
+    "validate_service_manifest",
     "write_manifest",
     "load_manifest",
 ]
 
 #: Bumped when the manifest payload shape changes.
 MANIFEST_SCHEMA_VERSION = 1
+
+#: Bumped when the service-session manifest shape changes.
+SERVICE_MANIFEST_SCHEMA_VERSION = 1
 
 
 class ManifestError(ValueError):
@@ -209,6 +215,85 @@ def build_manifest(
     return manifest
 
 
+def build_service_manifest(
+    routing: Dict[str, Any],
+    variants: Dict[str, Dict[str, Any]],
+    metrics: Dict[str, Any],
+    generator: str = "repro.service",
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the manifest for one service-server session.
+
+    The service analogue of :func:`build_manifest`: *routing* is the
+    router's summary (split percentages, fallback count), *variants* maps
+    variant name to that session's summary (scheme spec, request count,
+    coverage, latency quantiles), *metrics* is the server registry's
+    :meth:`~repro.obs.registry.MetricsRegistry.snapshot`.
+    """
+    manifest: Dict[str, Any] = {
+        "schema_version": SERVICE_MANIFEST_SCHEMA_VERSION,
+        "kind": "service-session",
+        "generator": generator,
+        "routing": dict(routing),
+        "variants": {name: dict(summary) for name, summary in variants.items()},
+        "metrics": metrics,
+    }
+    if extra:
+        manifest["extra"] = dict(extra)
+    return manifest
+
+
+def validate_service_manifest(payload: Dict[str, Any]) -> List[str]:
+    """Structurally validate a service manifest; returns found problems."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["service manifest is not a JSON object"]
+    for key in ("schema_version", "kind", "generator", "routing", "variants", "metrics"):
+        if key not in payload:
+            _fail(errors, f"missing required key {key!r}")
+    if errors:
+        return errors
+    if payload["schema_version"] != SERVICE_MANIFEST_SCHEMA_VERSION:
+        _fail(
+            errors,
+            f"schema_version {payload['schema_version']!r}"
+            f" != {SERVICE_MANIFEST_SCHEMA_VERSION}",
+        )
+    if payload["kind"] != "service-session":
+        _fail(errors, f"kind must be 'service-session', got {payload['kind']!r}")
+    if not isinstance(payload["generator"], str):
+        _fail(errors, "generator must be a string")
+    routing = payload["routing"]
+    if not isinstance(routing, dict):
+        _fail(errors, "routing must be an object")
+    else:
+        for key in ("champion", "champion_pct", "challenger_pct", "fallbacks"):
+            if key not in routing:
+                _fail(errors, f"routing missing {key!r}")
+    variants = payload["variants"]
+    if not (isinstance(variants, dict) and variants):
+        _fail(errors, "variants must be a non-empty object")
+    else:
+        for name, summary in variants.items():
+            if not isinstance(summary, dict):
+                _fail(errors, f"variants[{name!r}] is not an object")
+                continue
+            for key in ("scheme", "requests", "coverage", "latency"):
+                if key not in summary:
+                    _fail(errors, f"variants[{name!r}] missing {key!r}")
+    if not isinstance(payload["metrics"], dict):
+        _fail(errors, "metrics must be an object")
+    return errors
+
+
+def ensure_valid_service_manifest(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate *payload*, raising :class:`ManifestError` on problems."""
+    errors = validate_service_manifest(payload)
+    if errors:
+        raise ManifestError("; ".join(errors))
+    return payload
+
+
 # ----------------------------------------------------------------------
 # Validation (structural; no external schema library)
 # ----------------------------------------------------------------------
@@ -350,6 +435,13 @@ def write_manifest(path: Union[str, Path], manifest: Dict[str, Any]) -> Path:
 
 
 def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
-    """Read and structurally validate a manifest from disk."""
+    """Read and structurally validate a manifest from disk.
+
+    Dispatches on the ``kind`` key: service-session manifests are checked
+    against the service schema, everything else against the engine-run
+    schema.
+    """
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(payload, dict) and payload.get("kind") == "service-session":
+        return ensure_valid_service_manifest(payload)
     return ensure_valid_manifest(payload)

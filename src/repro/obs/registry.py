@@ -228,6 +228,30 @@ class Histogram(Metric):
                 self.bucket_counts[i] += 1
                 break
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0..1) from the bucket counts.
+
+        Prometheus-style linear interpolation inside the winning bucket
+        (lower edge 0 for the first).  Returns ``nan`` with no
+        observations; values beyond the last finite bucket clamp to its
+        upper bound.  This is what the service layer's per-variant
+        p50/p95 latency report is computed from.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(self.buckets, self.bucket_counts):
+            if count and cumulative + count >= target:
+                fraction = max(0.0, min(1.0, (target - cumulative) / count))
+                return lower + (bound - lower) * fraction
+            cumulative += count
+            lower = bound
+        return self.buckets[-1] if self.buckets else float("nan")
+
     def _touched(self) -> bool:
         return self.count > 0
 

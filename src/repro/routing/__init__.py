@@ -2,7 +2,8 @@
 
 from .base import RoutingScheme, individual_coverage
 from .registry import (
-    DeprecatedFactoryView,
+    UnknownSchemeError,
+    coerce_scheme_value,
     create_scheme,
     parse_scheme_spec,
     register_scheme,
@@ -22,7 +23,8 @@ from .spray_and_wait import SprayAndWaitScheme
 __all__ = [
     "RoutingScheme",
     "individual_coverage",
-    "DeprecatedFactoryView",
+    "UnknownSchemeError",
+    "coerce_scheme_value",
     "create_scheme",
     "parse_scheme_spec",
     "register_scheme",

@@ -13,16 +13,19 @@ content-addressed cache keys) can express parameterized variants as plain
 strings without touching the registry.  Keyword defaults given to the
 decorator are merged under any inline or call-site overrides.
 
-The old ``SCHEME_FACTORIES`` dict in ``repro.experiments.runner`` is kept
-as a deprecated read-only :class:`DeprecatedFactoryView` over this
-registry, so existing callers keep working while new code migrates.
+The ``"name:k=v,k2=v2"`` string is the **single public spec grammar**:
+the CLI, the experiment engine, and the service layer's champion/
+challenger router all resolve scheme variants through it.  Override
+values get typed coercion (:func:`coerce_scheme_value`): ``int``,
+``float``, ``bool``, ``None``, Python literals (quoted strings, tuples),
+falling back to the raw string.  Unknown scheme names raise
+:class:`UnknownSchemeError` listing every registered name.
 """
 
 from __future__ import annotations
 
 import ast
-import warnings
-from typing import Any, Callable, Dict, Iterator, Mapping, Tuple, TypeVar
+from typing import Any, Callable, Dict, Tuple, TypeVar
 
 from .base import RoutingScheme
 
@@ -33,13 +36,29 @@ __all__ = [
     "scheme_names",
     "scheme_defaults",
     "parse_scheme_spec",
-    "DeprecatedFactoryView",
+    "coerce_scheme_value",
+    "UnknownSchemeError",
 ]
 
 FactoryT = TypeVar("FactoryT", bound=Callable[..., RoutingScheme])
 
 #: name -> (factory, default kwargs); populated by :func:`register_scheme`.
 _REGISTRY: Dict[str, Tuple[Callable[..., RoutingScheme], Dict[str, Any]]] = {}
+
+
+class UnknownSchemeError(KeyError):
+    """A spec named a scheme that is not registered.
+
+    Subclasses :class:`KeyError` so pre-existing ``except KeyError``
+    call sites keep working; the message lists every registered name.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown scheme {name!r}; known: {sorted(_REGISTRY)}")
+        self.scheme_name = name
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
+        return self.args[0]
 
 
 def register_scheme(name: str, **defaults: Any) -> Callable[[FactoryT], FactoryT]:
@@ -76,11 +95,41 @@ def scheme_defaults(name: str) -> Dict[str, Any]:
     return dict(_lookup(name)[1])
 
 
-def parse_scheme_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
-    """Split ``"name"`` or ``"name:k=v,k2=v2"`` into name and kwargs.
+def coerce_scheme_value(raw: str) -> Any:
+    """Typed coercion of one ``k=v`` override value.
 
-    Values are parsed as Python literals (``8``, ``0.5``, ``True``,
-    ``'x'``) and fall back to the raw string.
+    Tried in order: ``bool`` (``true``/``false``, case-insensitive),
+    ``None`` (``none``/``null``), ``int``, ``float``, then any Python
+    literal (quoted strings, tuples); anything else stays the raw string,
+    so bare words like ``mode=fast`` parse without quoting.
+    """
+    text = raw.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text, 10)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def parse_scheme_spec(spec: str, require_registered: bool = False) -> Tuple[str, Dict[str, Any]]:
+    """Split ``"name"`` or ``"name:k=v,k2=v2"`` into name and typed kwargs.
+
+    Values go through :func:`coerce_scheme_value`.  With
+    *require_registered* the name is additionally checked against the
+    registry, raising :class:`UnknownSchemeError` -- what the CLI and the
+    service router use to validate specs up front.
     """
     name, _, params = spec.partition(":")
     name = name.strip()
@@ -93,11 +142,9 @@ def parse_scheme_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
             key = key.strip()
             if not sep or not key:
                 raise ValueError(f"malformed scheme parameter {item!r} in {spec!r}")
-            raw = raw.strip()
-            try:
-                kwargs[key] = ast.literal_eval(raw)
-            except (ValueError, SyntaxError):
-                kwargs[key] = raw
+            kwargs[key] = coerce_scheme_value(raw)
+    if require_registered and name not in _REGISTRY:
+        raise UnknownSchemeError(name)
     return name, kwargs
 
 
@@ -105,9 +152,7 @@ def _lookup(name: str) -> Tuple[Callable[..., RoutingScheme], Dict[str, Any]]:
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise KeyError(
-            f"unknown scheme {name!r}; known: {sorted(_REGISTRY)}"
-        ) from None
+        raise UnknownSchemeError(name) from None
 
 
 def create_scheme(spec: str, **overrides: Any) -> RoutingScheme:
@@ -121,34 +166,3 @@ def create_scheme(spec: str, **overrides: Any) -> RoutingScheme:
     factory, defaults = _lookup(name)
     merged = {**defaults, **inline, **overrides}
     return factory(**merged)
-
-
-class DeprecatedFactoryView(Mapping):
-    """Read-only mapping emulating the retired ``SCHEME_FACTORIES`` dict.
-
-    Lookups return zero-argument factories (as the dict held) and emit a
-    :class:`DeprecationWarning` steering callers to
-    :func:`repro.routing.create_scheme`.
-    """
-
-    def __getitem__(self, name: str) -> Callable[[], RoutingScheme]:
-        factory, defaults = _lookup(name)  # KeyError for unknown names
-        warnings.warn(
-            "SCHEME_FACTORIES is deprecated; use repro.routing.create_scheme "
-            f"({name!r}) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return lambda: factory(**defaults)
-
-    def __contains__(self, name: object) -> bool:
-        return name in _REGISTRY
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(sorted(_REGISTRY))
-
-    def __len__(self) -> int:
-        return len(_REGISTRY)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"DeprecatedFactoryView({sorted(_REGISTRY)})"

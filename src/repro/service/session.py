@@ -1,0 +1,222 @@
+"""One live scheme variant: a simulator world driven by requests.
+
+:class:`ServiceSession` wraps a regular :class:`~repro.dtn.simulator.
+Simulation` built with an *empty* contact trace and drives it through the
+simulator's contact-handling seam (``ensure_node`` /
+``handle_photo_created`` / ``handle_contact``) instead of the event loop.
+The scheme, the storage substrate, the coverage index, the selection
+algorithm -- everything below the seam is the exact code the simulator
+runs, so feeding the session a scenario's events in event-queue order
+produces byte-identical state to ``Simulation.run()`` on that scenario.
+
+Time is the caller's: every request carries a ``now`` and the session
+only checks that it never goes backwards (requests are a serialized
+event stream, exactly like the simulator's queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.poi import PoIList
+from ..dtn.simulator import Simulation, SimulationConfig
+from ..routing.registry import create_scheme
+from ..traces.model import ContactTrace
+
+__all__ = [
+    "StaleRequestError",
+    "IngestOutcome",
+    "ContactOutcome",
+    "SelectionOutcome",
+    "CoverageReport",
+    "ServiceSession",
+]
+
+
+class StaleRequestError(ValueError):
+    """A request's timestamp precedes one the session already processed."""
+
+
+@dataclass(frozen=True)
+class IngestOutcome:
+    """What happened to one ingested photo."""
+
+    dispatched: bool  # the owner was alive and the scheme saw the photo
+    stored: bool  # the photo is in the owner's buffer afterwards
+    buffered: int  # photos in the owner's buffer afterwards
+
+
+@dataclass(frozen=True)
+class ContactOutcome:
+    """Result of one node-node contact."""
+
+    processed: bool
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """Result of one gateway uplink: the selection the scheme served."""
+
+    processed: bool
+    delivered_photo_ids: List[int] = field(default_factory=list)
+    kept_photo_ids: List[int] = field(default_factory=list)
+    delivered_total: int = 0
+    point_coverage: float = 0.0
+    aspect_coverage_deg: float = 0.0
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """The command center's current view of one variant's world."""
+
+    point_coverage: float
+    aspect_coverage_deg: float
+    delivered_photos: int
+    created_photos: int
+    contacts_processed: int
+    center_contacts: int
+    nodes: int
+
+
+class ServiceSession:
+    """A live, always-on world for one scheme variant.
+
+    Parameters mirror the simulator's: the PoI list and the
+    :class:`SimulationConfig` fix the coverage model and the resource
+    constraints; *scheme_spec* goes through
+    :func:`~repro.routing.registry.create_scheme`, so parameterized specs
+    (``"spray-and-wait:initial_copies=8"``) work unchanged.
+    """
+
+    def __init__(
+        self,
+        scheme_spec: str,
+        pois: PoIList,
+        config: Optional[SimulationConfig] = None,
+        variant: str = "champion",
+    ) -> None:
+        self.scheme_spec = scheme_spec
+        self.variant = variant
+        self.scheme = create_scheme(scheme_spec)
+        self.simulation = Simulation(
+            trace=ContactTrace([], name="service"),
+            pois=pois,
+            photo_arrivals=(),
+            scheme=self.scheme,
+            config=config if config is not None else SimulationConfig(),
+            gateway_ids=(),
+            end_time_s=0.0,
+        )
+        self.clock = 0.0
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def command_center_id(self) -> int:
+        return self.simulation.config.command_center_id
+
+    def _advance(self, now: float) -> None:
+        if now < self.clock:
+            raise StaleRequestError(
+                f"request time {now} precedes session clock {self.clock}"
+            )
+        self.clock = now
+        self.requests += 1
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def ingest(self, owner_id: int, photo, now: float) -> IngestOutcome:
+        """Participant *owner_id* reports taking *photo* at *now*."""
+        if owner_id == self.command_center_id:
+            raise ValueError("the command center does not take photos")
+        self._advance(now)
+        sim = self.simulation
+        node = sim.ensure_node(owner_id)
+        dispatched = sim.handle_photo_created(owner_id, photo, now)
+        return IngestOutcome(
+            dispatched=dispatched,
+            stored=photo.photo_id in node.storage,
+            buffered=len(node.storage),
+        )
+
+    def contact(
+        self, node_a_id: int, node_b_id: int, now: float, duration: float
+    ):
+        """One contact; uplinks (a side is the command center) return a
+        :class:`SelectionOutcome`, peer contacts a :class:`ContactOutcome`."""
+        cc_id = self.command_center_id
+        if cc_id in (node_a_id, node_b_id):
+            participant = node_b_id if node_a_id == cc_id else node_a_id
+            return self.select_on_contact(participant, now, duration)
+        self._advance(now)
+        sim = self.simulation
+        sim.ensure_node(node_a_id)
+        sim.ensure_node(node_b_id)
+        return ContactOutcome(
+            processed=sim.handle_contact(node_a_id, node_b_id, now, duration)
+        )
+
+    def select_on_contact(
+        self, node_id: int, now: float, duration: float
+    ) -> SelectionOutcome:
+        """Gateway uplink: run the scheme's selection against the center."""
+        self._advance(now)
+        sim = self.simulation
+        node = sim.ensure_node(node_id)
+        center = sim.command_center
+        before = set(center.storage.photo_ids())
+        processed = sim.handle_contact(
+            node_id, self.command_center_id, now, duration
+        )
+        delivered = [
+            photo_id
+            for photo_id in center.storage.photo_ids()
+            if photo_id not in before
+        ]
+        point, aspect = sim.index.normalized(sim.center_coverage())
+        return SelectionOutcome(
+            processed=processed,
+            delivered_photo_ids=delivered,
+            kept_photo_ids=node.storage.photo_ids(),
+            delivered_total=center.received_count,
+            point_coverage=point,
+            aspect_coverage_deg=aspect,
+        )
+
+    def coverage(self) -> CoverageReport:
+        """The center's current coverage and the session's counters."""
+        sim = self.simulation
+        point, aspect = sim.index.normalized(sim.center_coverage())
+        result = sim.result
+        return CoverageReport(
+            point_coverage=point,
+            aspect_coverage_deg=aspect,
+            delivered_photos=sim.command_center.received_count,
+            created_photos=result.created_photos,
+            contacts_processed=result.contacts_processed,
+            center_contacts=result.center_contacts,
+            nodes=len(sim.nodes),
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-ready summary (used by ``stats`` and the manifest)."""
+        report = self.coverage()
+        return {
+            "variant": self.variant,
+            "scheme": self.scheme_spec,
+            "requests": self.requests,
+            "clock_s": self.clock,
+            "coverage": {
+                "point": report.point_coverage,
+                "aspect_deg": report.aspect_coverage_deg,
+            },
+            "delivered_photos": report.delivered_photos,
+            "created_photos": report.created_photos,
+            "contacts_processed": report.contacts_processed,
+            "center_contacts": report.center_contacts,
+            "nodes": report.nodes,
+        }

@@ -17,10 +17,10 @@ from repro.experiments.config import (
 from repro.experiments.report import format_comparison, format_series, format_sweep, format_table
 from repro.experiments.runner import (
     PAPER_SCHEMES,
-    SCHEME_FACTORIES,
     average_results,
     run_comparison,
 )
+from repro.routing import create_scheme, scheme_names
 
 
 class TestTableISettings:
@@ -115,13 +115,14 @@ class TestScenarioSpec:
 
 class TestRunner:
     def test_scheme_registry_covers_paper(self):
+        names = scheme_names()
         for name in PAPER_SCHEMES:
-            assert name in SCHEME_FACTORIES
-        assert "photonet" in SCHEME_FACTORIES
+            assert name in names
+        assert "photonet" in names
 
     def test_factories_produce_fresh_instances(self):
-        a = SCHEME_FACTORIES["our-scheme"]()
-        b = SCHEME_FACTORIES["our-scheme"]()
+        a = create_scheme("our-scheme")
+        b = create_scheme("our-scheme")
         assert a is not b
 
     def test_run_comparison_small(self):

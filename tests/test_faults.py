@@ -23,7 +23,8 @@ from repro.dtn.faults import FaultCounters, FaultInjector, FaultPlan
 from repro.dtn.simulator import Simulation, SimulationConfig
 from repro.experiments.config import ScenarioSpec
 from repro.experiments.robustness_study import run_robustness_study
-from repro.experiments.runner import SCHEME_FACTORIES, run_scenario
+from repro.experiments.runner import run_scenario
+from repro.routing import scheme_names
 from repro.metadata_mgmt.cache import CacheEntry, MetadataCache
 from repro.routing.coverage_scheme import CoverageSelectionScheme
 from repro.routing.direct import DirectDeliveryScheme
@@ -372,7 +373,7 @@ class TestGracefulDegradation:
         scenario = ScenarioSpec(
             scale=0.1, seed=2, photos_per_hour=60.0, fault_intensity=intensity
         ).build()
-        for name in SCHEME_FACTORIES:
+        for name in scheme_names():
             result = run_scenario(scenario, name)
             assert result.samples, name
             assert 0.0 <= result.final_point_coverage <= 1.0, name

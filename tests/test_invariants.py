@@ -39,7 +39,7 @@ from helpers import MB, make_photo
 
 PHOTO = 4 * MB
 
-SCHEME_FACTORIES = [
+SCHEME_BUILDERS = [
     lambda: CoverageSelectionScheme(use_metadata_cache=True),
     lambda: CoverageSelectionScheme(use_metadata_cache=False),
     SprayAndWaitScheme,
@@ -104,7 +104,7 @@ def run_scenario(factory, contacts, arrivals, storage_bytes, unlimited):
 
 
 class TestPhysicalInvariants:
-    @pytest.mark.parametrize("factory", SCHEME_FACTORIES)
+    @pytest.mark.parametrize("factory", SCHEME_BUILDERS)
     @given(scenario=scenarios())
     @settings(max_examples=25, deadline=None)
     def test_capacity_and_conservation(self, factory, scenario):
@@ -137,7 +137,7 @@ class TestPhysicalInvariants:
         assert len(result.delivery_latencies_s) == result.delivered_photos
         assert all(latency >= 0.0 for latency in result.delivery_latencies_s)
 
-    @pytest.mark.parametrize("factory", SCHEME_FACTORIES)
+    @pytest.mark.parametrize("factory", SCHEME_BUILDERS)
     @given(scenario=scenarios())
     @settings(max_examples=15, deadline=None)
     def test_causality_via_best_possible_bound(self, factory, scenario):
@@ -156,7 +156,7 @@ class TestPhysicalInvariants:
         }
         assert useful_delivered <= bound_ids
 
-    @pytest.mark.parametrize("factory", SCHEME_FACTORIES)
+    @pytest.mark.parametrize("factory", SCHEME_BUILDERS)
     @given(scenario=scenarios())
     @settings(max_examples=10, deadline=None)
     def test_determinism(self, factory, scenario):

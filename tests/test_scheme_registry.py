@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import warnings
-
 import pytest
 
 from repro.routing import (
+    UnknownSchemeError,
+    coerce_scheme_value,
     create_scheme,
     parse_scheme_spec,
     register_scheme,
@@ -17,7 +17,6 @@ from repro.routing import (
 from repro.routing.base import RoutingScheme
 from repro.routing.coverage_scheme import CoverageSelectionScheme
 from repro.routing.spray_and_wait import SprayAndWaitScheme
-from repro.experiments.runner import SCHEME_FACTORIES
 
 
 class TestParsing:
@@ -41,6 +40,35 @@ class TestParsing:
     def test_malformed_specs_raise(self, bad):
         with pytest.raises(ValueError):
             parse_scheme_spec(bad)
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("8", 8),
+            ("-3", -3),
+            ("0.5", 0.5),
+            ("1e-3", 1e-3),
+            ("True", True),
+            ("true", True),
+            ("FALSE", False),
+            ("none", None),
+            ("null", None),
+            ("'quoted'", "quoted"),
+            ("fast", "fast"),
+        ],
+    )
+    def test_typed_coercion(self, raw, expected):
+        assert coerce_scheme_value(raw) == expected
+        # int stays int, never silently floats
+        if isinstance(expected, bool):
+            assert isinstance(coerce_scheme_value(raw), bool)
+        elif isinstance(expected, int):
+            assert isinstance(coerce_scheme_value(raw), int)
+
+    def test_require_registered_validates_name(self):
+        assert parse_scheme_spec("epidemic", require_registered=True)[0] == "epidemic"
+        with pytest.raises(UnknownSchemeError, match="known:"):
+            parse_scheme_spec("no-such-scheme", require_registered=True)
 
 
 class TestRegistry:
@@ -84,8 +112,18 @@ class TestRegistry:
         assert create_scheme("epidemic") is not create_scheme("epidemic")
 
     def test_unknown_scheme_raises_keyerror(self):
+        # UnknownSchemeError subclasses KeyError, so legacy handlers work.
         with pytest.raises(KeyError, match="unknown scheme"):
             create_scheme("no-such-scheme")
+
+    def test_unknown_scheme_error_lists_registered_names(self):
+        with pytest.raises(UnknownSchemeError) as excinfo:
+            create_scheme("no-such-scheme")
+        message = str(excinfo.value)
+        assert "no-such-scheme" in message
+        for name in ("our-scheme", "epidemic"):
+            assert name in message
+        assert excinfo.value.scheme_name == "no-such-scheme"
 
     def test_scheme_defaults_returns_copy(self):
         defaults = scheme_defaults("spray-and-wait")
@@ -111,26 +149,11 @@ class TestRegistry:
             register_scheme(bad)
 
 
-class TestDeprecatedFactoryView:
-    def test_getitem_warns_and_builds(self):
-        with pytest.warns(DeprecationWarning, match="SCHEME_FACTORIES is deprecated"):
-            factory = SCHEME_FACTORIES["spray-and-wait"]
-        scheme = factory()
-        assert isinstance(scheme, SprayAndWaitScheme)
-        assert scheme.initial_copies == 4
+class TestShimRemoved:
+    def test_scheme_factories_gone(self):
+        """The deprecated SCHEME_FACTORIES shim must stay deleted."""
+        import repro.experiments.runner as runner
+        import repro.routing.registry as registry
 
-    def test_contains_and_iteration_do_not_warn(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            assert "epidemic" in SCHEME_FACTORIES
-            assert "no-such" not in SCHEME_FACTORIES
-            assert list(SCHEME_FACTORIES) == list(scheme_names())
-            assert len(SCHEME_FACTORIES) == len(scheme_names())
-
-    def test_unknown_key_raises_keyerror(self):
-        with pytest.raises(KeyError):
-            SCHEME_FACTORIES["no-such-scheme"]
-
-    def test_read_only(self):
-        with pytest.raises(TypeError):
-            SCHEME_FACTORIES["x"] = lambda: None  # type: ignore[index]
+        assert not hasattr(runner, "SCHEME_FACTORIES")
+        assert not hasattr(registry, "DeprecatedFactoryView")

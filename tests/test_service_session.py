@@ -1,0 +1,259 @@
+"""Tests for the live-session world and the byte-identical guarantee."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import Point
+from repro.core.metadata import Photo, PhotoMetadata
+from repro.dtn.events import EventKind
+from repro.dtn.simulator import Simulation, SimulationConfig
+from repro.experiments.config import ScenarioSpec
+from repro.routing import create_scheme
+from repro.service.client import iter_scenario_events
+from repro.service.protocol import photo_from_wire, photo_to_wire
+from repro.service.session import (
+    ContactOutcome,
+    SelectionOutcome,
+    ServiceSession,
+    StaleRequestError,
+)
+from repro.core.poi import PoIList
+
+
+def make_photo(x=10.0, y=10.0, taken_at=0.0, owner_id=1):
+    """A photo aimed up-and-right (orientation is clockwise from east, so
+    -0.5 rad points toward +y); from (10, 10) it covers the PoI at
+    (54, 34), from (356, 376) the one at (400, 400)."""
+    return Photo(
+        metadata=PhotoMetadata(
+            location=Point(x, y),
+            coverage_range=80.0,
+            field_of_view=1.0,
+            orientation=-0.5,
+        ),
+        taken_at=taken_at,
+        owner_id=owner_id,
+    )
+
+
+@pytest.fixture()
+def pois():
+    return PoIList.from_points([Point(54.0, 34.0), Point(400.0, 400.0)])
+
+
+class TestPhotoWireCodec:
+    def test_round_trip_preserves_everything(self):
+        photo = Photo(
+            metadata=PhotoMetadata(
+                location=Point(123.456789, -0.000031),
+                coverage_range=77.123456789,
+                field_of_view=0.7853981633974483,
+                orientation=2.25,
+            ),
+            size_bytes=4 * 1024 * 1024,
+            taken_at=3600.5,
+            owner_id=42,
+            quality=0.875,
+            features=(0.1, 0.2, 0.3),
+        )
+        clone = photo_from_wire(photo_to_wire(photo))
+        assert clone.photo_id == photo.photo_id
+        assert clone.metadata == photo.metadata  # exact float equality
+        assert clone.size_bytes == photo.size_bytes
+        assert clone.taken_at == photo.taken_at
+        assert clone.owner_id == photo.owner_id
+        assert clone.quality == photo.quality
+        assert clone.features == photo.features
+
+    def test_round_trip_through_json_text(self):
+        import json
+
+        photo = make_photo(x=1.0 / 3.0, y=2.0 / 7.0)
+        wire = json.loads(json.dumps(photo_to_wire(photo)))
+        assert photo_from_wire(wire).metadata == photo.metadata
+
+    def test_invalid_payloads_raise_protocol_error(self):
+        from repro.service.protocol import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            photo_from_wire({"photo_id": 1})
+        with pytest.raises(ProtocolError):
+            photo_from_wire("not a dict")
+
+
+class TestServiceSessionBasics:
+    def test_ingest_stores_photo(self, pois):
+        session = ServiceSession("our-scheme", pois)
+        outcome = session.ingest(1, make_photo(owner_id=1), now=10.0)
+        assert outcome.dispatched and outcome.stored
+        assert outcome.buffered == 1
+
+    def test_node_materializes_on_first_request(self, pois):
+        session = ServiceSession("our-scheme", pois)
+        assert session.simulation.nodes == {}
+        session.ingest(5, make_photo(owner_id=5), now=1.0)
+        assert 5 in session.simulation.nodes
+
+    def test_time_must_not_go_backwards(self, pois):
+        session = ServiceSession("our-scheme", pois)
+        session.ingest(1, make_photo(), now=100.0)
+        with pytest.raises(StaleRequestError):
+            session.ingest(1, make_photo(), now=99.0)
+        # Equal timestamps are fine (simultaneous events).
+        session.ingest(1, make_photo(), now=100.0)
+
+    def test_command_center_does_not_take_photos(self, pois):
+        session = ServiceSession("our-scheme", pois)
+        with pytest.raises(ValueError, match="command center"):
+            session.ingest(session.command_center_id, make_photo(), now=0.0)
+
+    def test_contact_dispatches_node_pair(self, pois):
+        session = ServiceSession("epidemic", pois)
+        session.ingest(1, make_photo(owner_id=1), now=0.0)
+        outcome = session.contact(1, 2, now=5.0, duration=60.0)
+        assert isinstance(outcome, ContactOutcome)
+        assert outcome.processed
+        # Epidemic floods: node 2 now carries the photo too.
+        assert len(session.simulation.nodes[2].storage) == 1
+
+    def test_uplink_returns_selection(self, pois):
+        session = ServiceSession("our-scheme", pois)
+        photo = make_photo(owner_id=1)
+        session.ingest(1, photo, now=0.0)
+        outcome = session.contact(1, session.command_center_id, now=10.0, duration=600.0)
+        assert isinstance(outcome, SelectionOutcome)
+        assert outcome.processed
+        assert outcome.delivered_photo_ids == [photo.photo_id]
+        assert outcome.delivered_total == 1
+        assert outcome.point_coverage >= 0.0
+
+    def test_second_uplink_reports_only_new_deliveries(self, pois):
+        session = ServiceSession("our-scheme", pois)
+        first = make_photo(owner_id=1, x=10.0)
+        session.ingest(1, first, now=0.0)
+        session.select_on_contact(1, now=10.0, duration=600.0)
+        second = make_photo(owner_id=1, x=356.0, y=376.0)
+        session.ingest(1, second, now=20.0)
+        outcome = session.select_on_contact(1, now=30.0, duration=600.0)
+        assert outcome.delivered_photo_ids == [second.photo_id]
+        assert outcome.delivered_total == 2
+
+    def test_coverage_report_counts(self, pois):
+        session = ServiceSession("our-scheme", pois)
+        session.ingest(1, make_photo(owner_id=1), now=0.0)
+        session.contact(1, 2, now=1.0, duration=30.0)
+        session.select_on_contact(1, now=2.0, duration=600.0)
+        report = session.coverage()
+        assert report.created_photos == 1
+        assert report.contacts_processed == 1
+        assert report.center_contacts == 1
+        assert report.delivered_photos == 1
+        assert report.nodes == 2
+
+    def test_parameterized_scheme_specs_work(self, pois):
+        session = ServiceSession("spray-and-wait:initial_copies=8", pois)
+        assert session.scheme.initial_copies == 8
+
+    def test_describe_is_json_ready(self, pois):
+        import json
+
+        session = ServiceSession("our-scheme", pois)
+        session.ingest(1, make_photo(), now=1.0)
+        text = json.dumps(session.describe())
+        assert '"our-scheme"' in text
+
+
+class TestIterScenarioEvents:
+    def test_matches_simulator_event_order(self):
+        scenario = ScenarioSpec(scale=0.05, seed=1).build()
+        events = list(iter_scenario_events(scenario))
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        # Ties: photo creations precede contacts at the same instant,
+        # matching EventKind priorities.
+        for first, second in zip(events, events[1:]):
+            if first.time == second.time:
+                assert first.kind <= second.kind
+        kinds = {event.kind for event in events}
+        assert kinds <= {EventKind.PHOTO_CREATED, EventKind.CONTACT}
+
+    def test_applies_contact_duration_cap(self):
+        scenario = ScenarioSpec(scale=0.05, seed=1, contact_duration_cap_s=30.0).build()
+        for event in iter_scenario_events(scenario):
+            if event.kind == EventKind.CONTACT:
+                assert event.payload[2] <= 30.0
+
+
+class TestByteIdenticalReplay:
+    """The tentpole guarantee: service selections == simulator selections."""
+
+    @pytest.mark.parametrize("scheme", ["our-scheme", "spray-and-wait", "epidemic"])
+    def test_replay_equals_simulation(self, scheme):
+        spec = ScenarioSpec(scale=0.05, seed=3, sample_interval_hours=20.0)
+        scenario = spec.build()
+
+        sim = Simulation(
+            trace=scenario.trace,
+            pois=scenario.pois,
+            photo_arrivals=scenario.photo_arrivals,
+            scheme=create_scheme(scheme),
+            config=scenario.config,
+            gateway_ids=scenario.gateway_ids,
+            end_time_s=scenario.end_time_s,
+        )
+        sim.run()
+
+        session = ServiceSession(scheme, scenario.pois, scenario.config)
+        for event in iter_scenario_events(scenario):
+            if event.kind == EventKind.PHOTO_CREATED:
+                owner_id, photo = event.payload
+                session.ingest(owner_id, photo, event.time)
+            else:
+                node_a, node_b, duration = event.payload[:3]
+                session.contact(node_a, node_b, event.time, duration)
+        live = session.simulation
+
+        # Identical delivery order (insertion order of the center's
+        # storage), counts, coverage floats, and latency lists.
+        assert (
+            sim.command_center.storage.photo_ids()
+            == live.command_center.storage.photo_ids()
+        )
+        assert sim.command_center.received_count == live.command_center.received_count
+        assert sim.center_coverage() == live.center_coverage()
+        assert sim.result.created_photos == live.result.created_photos
+        assert sim.result.contacts_processed == live.result.contacts_processed
+        assert sim.result.center_contacts == live.result.center_contacts
+        assert sim.result.delivery_latencies_s == live.result.delivery_latencies_s
+
+    def test_wire_round_trip_stays_byte_identical(self):
+        """Photos that crossed the JSON codec still select identically."""
+        spec = ScenarioSpec(scale=0.05, seed=5, sample_interval_hours=20.0)
+        scenario = spec.build()
+
+        sim = Simulation(
+            trace=scenario.trace,
+            pois=scenario.pois,
+            photo_arrivals=scenario.photo_arrivals,
+            scheme=create_scheme("our-scheme"),
+            config=scenario.config,
+            gateway_ids=scenario.gateway_ids,
+            end_time_s=scenario.end_time_s,
+        )
+        sim.run()
+
+        session = ServiceSession("our-scheme", scenario.pois, scenario.config)
+        for event in iter_scenario_events(scenario):
+            if event.kind == EventKind.PHOTO_CREATED:
+                owner_id, photo = event.payload
+                session.ingest(owner_id, photo_from_wire(photo_to_wire(photo)), event.time)
+            else:
+                node_a, node_b, duration = event.payload[:3]
+                session.contact(node_a, node_b, event.time, duration)
+
+        assert (
+            sim.command_center.storage.photo_ids()
+            == session.simulation.command_center.storage.photo_ids()
+        )
+        assert sim.center_coverage() == session.simulation.center_coverage()
