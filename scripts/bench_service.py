@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Benchmark service-mode request throughput: sockets vs the bare session.
+
+Two legs process the *same* seeded synthetic op stream (ingest/contact/
+select built by :class:`repro.loadgen.workload.SyntheticWorkload`):
+
+* **in-process** -- ops applied directly to a
+  :class:`~repro.service.session.ServiceSession` (clamp time policy), no
+  sockets, no JSON.  This is the floor: pure scheme/selection cost.
+* **service** -- a :class:`~repro.service.server.CommandCenterServer` on
+  an ephemeral port, driven by the :mod:`repro.loadgen` async driver at a
+  deliberately saturating offered rate, so the achieved rate measures
+  server capacity rather than the arrival schedule.
+
+The figure of merit is **efficiency** = service achieved rate divided by
+in-process rate: the fraction of bare-session throughput that survives
+JSON framing, the socket hop, and the asyncio loop.  Both legs run on
+the same machine back to back, so the ratio transfers across hardware --
+CI re-runs with ``--quick --check BENCH_service.json`` and fails when
+efficiency drops more than ``--max-regression`` below the recorded
+baseline (default 40%: socket-bound numbers carry more scheduler noise
+than the pure-compute bench).
+
+The summary -- plus the service leg's p50/p95/p99 -- is written to
+``BENCH_service.json``, the committed baseline.
+
+Run:  python scripts/bench_service.py [--quick] [--repeats 2]
+                                      [--check BENCH_service.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import threading
+import time
+from pathlib import Path
+
+from repro.experiments.config import ScenarioSpec
+from repro.loadgen import LoadPlan, LoadStage, SLOSpec, StageMix, WorkloadSpec, run_load
+from repro.loadgen.arrivals import Arrival
+from repro.loadgen.workload import SyntheticWorkload
+from repro.service import CommandCenterServer, ServiceSession
+from repro.service.protocol import photo_from_wire
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+SCHEMA_VERSION = 1
+
+SCALE = 0.05
+USERS = 40
+MIX = StageMix()
+#: Offered rate chosen to exceed single-session capacity on any machine
+#: this repo targets, so the service leg reports capacity, not pacing.
+SATURATE_RATE = 2000.0
+
+
+def build_ops(count: int, seed: int):
+    """The shared op stream, pre-built so neither leg times generation."""
+    workload = SyntheticWorkload(WorkloadSpec(users=USERS), seed)
+    step = 0.5  # virtual seconds between ops; monotone, so strict would do
+    return [
+        workload.make_op(Arrival(offset_s=index * 0.001), index * step, MIX)
+        for index in range(count)
+    ]
+
+
+def bench_inprocess(ops, scenario, repeats: int) -> float:
+    """Best-of-*repeats* ops/second straight into a ServiceSession."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        session = ServiceSession(
+            "our-scheme", scenario.pois, config=scenario.config, time_policy="clamp"
+        )
+        cc = session.command_center_id
+        started = time.perf_counter()
+        for op in ops:
+            kind = op["op"]
+            if kind == "ingest":
+                session.ingest(op["user"], photo_from_wire(op["photo"]), op["time"])
+            elif kind == "contact":
+                session.contact(op["a"], op["b"], op["time"], op["duration"])
+            else:
+                session.select_on_contact(op["user"], op["time"], op["duration"])
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return len(ops) / best
+
+
+def bench_service(scenario, duration_s: float, concurrency: int, seed: int):
+    """Achieved rate + latency quantiles with the loadgen driver saturating
+    a real server over sockets."""
+    server = CommandCenterServer(
+        pois=scenario.pois,
+        config=scenario.config,
+        host="127.0.0.1",
+        port=0,
+        time_policy="clamp",
+    )
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    if not server.ready.wait(10.0):
+        raise SystemExit("FAIL: bench server did not come up")
+    host, port = server.address
+    plan = LoadPlan(
+        name="bench-saturate",
+        seed=seed,
+        stages=(
+            LoadStage(
+                name="saturate",
+                duration_s=duration_s,
+                rate=SATURATE_RATE,
+                concurrency=concurrency,
+            ),
+        ),
+        workload=WorkloadSpec(users=USERS),
+        slo=SLOSpec(max_p99_s=None, max_error_rate=None, min_rate_attainment=None),
+        op_timeout_s=30.0,
+    )
+    try:
+        result = run_load(plan, host, port)
+    finally:
+        server.request_shutdown()
+        thread.join(10.0)
+    stage = result.stages[0]
+    if result.accounting.failed:
+        raise SystemExit(
+            f"FAIL: service leg had {result.accounting.failed} failed ops: "
+            f"{result.accounting.as_dict()}"
+        )
+    return {
+        "offered": stage.offered,
+        "ok": stage.ok,
+        "duration_s": round(stage.duration_s, 3),
+        "achieved_rate": round(stage.achieved_rate, 1),
+        "quantiles": {
+            kind: {key: round(value, 6) for key, value in entry.items()}
+            for kind, entry in result.op_quantiles().items()
+        },
+    }
+
+
+def check_against(payload, baseline_path: Path, max_regression: float) -> None:
+    """Fail when socket efficiency regressed beyond budget vs the baseline."""
+    recorded = json.loads(baseline_path.read_text())
+    want = recorded.get("efficiency")
+    if not want:
+        raise SystemExit(f"FAIL: {baseline_path} carries no efficiency figure")
+    got = payload["efficiency"]
+    floor = want * (1.0 - max_regression)
+    print(
+        f"efficiency: fresh {got:.3f} vs recorded {want:.3f} "
+        f"(floor {floor:.3f}, budget {max_regression:.0%})"
+    )
+    if got < floor:
+        raise SystemExit(
+            f"FAIL: service efficiency {got:.3f} fell below {floor:.3f} "
+            f"({max_regression:.0%} under the recorded {want:.3f})"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ops", type=int, default=3000,
+                        help="op count for the in-process leg")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="service-leg saturation window, seconds")
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="short run (1500 ops, 2.5s window) -- the CI smoke shape",
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None, metavar="BASELINE",
+        help="compare efficiency against a recorded BENCH_service.json and "
+        "fail on regression instead of writing a new baseline",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.40,
+        help="allowed fractional efficiency drop in --check mode",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        args.ops = min(args.ops, 1500)
+        args.duration = min(args.duration, 2.5)
+        args.repeats = 1
+
+    scenario = ScenarioSpec(trace_name="mit", scale=SCALE, seed=args.seed).build()
+    ops = build_ops(args.ops, args.seed)
+    print(
+        f"benchmarking service throughput: {len(ops)} ops in-process "
+        f"(best of {args.repeats}), {args.duration:g}s saturation over sockets "
+        f"on {os.cpu_count()} CPU(s)"
+    )
+
+    inproc_rate = bench_inprocess(ops, scenario, args.repeats)
+    print(f"  in-process: {inproc_rate:10.1f} ops/s")
+
+    service = bench_service(scenario, args.duration, args.concurrency, args.seed)
+    print(
+        f"  service:    {service['achieved_rate']:10.1f} ops/s achieved "
+        f"({service['ok']}/{service['offered']} ops in {service['duration_s']}s)"
+    )
+
+    efficiency = service["achieved_rate"] / inproc_rate if inproc_rate else 0.0
+    print(f"  efficiency: {efficiency:.3f} of bare-session throughput survives the socket hop")
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "scripts/bench_service.py",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "seed": args.seed,
+        "scale": SCALE,
+        "users": USERS,
+        "inprocess": {"ops": len(ops), "rate": round(inproc_rate, 1)},
+        "service": service,
+        "efficiency": round(efficiency, 4),
+    }
+
+    if args.check is not None:
+        check_against(payload, args.check, args.max_regression)
+        print("OK: no service-throughput regression")
+        return
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ Installed as the ``repro`` console script::
     repro ablation pthld            # design-knob sweeps
     repro serve --port 7616         # always-on command-center service
     repro replay --port 7616        # stream a scenario through it
+    repro loadgen --plan smoke      # open-loop load + SLO gate against it
 
 Every command prints the same text tables the benchmark harness writes to
 ``benchmarks/results/``.
@@ -236,6 +237,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--manifest", default=None, metavar="PATH",
         help="write the service-session manifest here on shutdown",
     )
+    serve.add_argument(
+        "--clamp-time", action="store_true",
+        help="monotonize out-of-order request timestamps instead of "
+        "rejecting them (required under concurrent load generation)",
+    )
+    serve.add_argument(
+        "--fault-intensity", type=float, default=0.0, metavar="I",
+        help="disaster fault intensity in [0, 1]: scales the server-side "
+        "fault plan (live node churn, transfer drops, metadata corruption)",
+    )
 
     replay = sub.add_parser(
         "replay", help="feed a scenario's event stream through a live server"
@@ -253,6 +264,45 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--shutdown", action="store_true",
         help="ask the server to exit (and write its manifest) after the replay",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen", help="open-loop load generation and chaos soak against a live server"
+    )
+    loadgen.add_argument(
+        "--plan", default="smoke", metavar="NAME|PATH",
+        help="built-in plan name (smoke, soak) or a JSON plan file",
+    )
+    loadgen.add_argument(
+        "--target", default="127.0.0.1:7616", metavar="HOST:PORT",
+        help="the repro serve instance to drive",
+    )
+    loadgen.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the validated load-report manifest here",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=None, help="override the plan's seed"
+    )
+    loadgen.add_argument(
+        "--duration-scale", type=float, default=1.0, metavar="X",
+        help="multiply every stage duration by X (stretch or shrink the plan)",
+    )
+    loadgen.add_argument(
+        "--max-p99", type=float, default=None, metavar="SECONDS",
+        help="override the plan's p99 latency SLO",
+    )
+    loadgen.add_argument(
+        "--max-error-rate", type=float, default=None, metavar="FRACTION",
+        help="override the plan's error-rate SLO",
+    )
+    loadgen.add_argument(
+        "--min-attainment", type=float, default=None, metavar="FRACTION",
+        help="override the plan's rate-attainment SLO on gated stages",
+    )
+    loadgen.add_argument(
+        "--kill-every", type=float, default=None, metavar="SECONDS",
+        help="override the plan's chaos: mean connection-kill interval per worker",
     )
 
     ablation = sub.add_parser("ablation", help="design-knob sweeps")
@@ -285,6 +335,7 @@ def _cmd_list() -> int:
         ["metrics", "validate and summarize a run manifest (--prometheus)"],
         ["serve", "always-on command-center service (--challenger for A/B)"],
         ["replay", "stream a scenario through a live server (--shutdown)"],
+        ["loadgen", "open-loop load + chaos soak with SLO gating (--plan smoke|soak)"],
         ["ablation", "pthld | theta | floor | gateways | estimators"],
     ]
     print(format_table(["command", "what it reproduces"], rows))
@@ -348,7 +399,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .experiments.config import ScenarioSpec
     from .service import CommandCenterServer, RoutingConfig
 
-    spec = ScenarioSpec(trace_name=args.trace, scale=args.scale, seed=args.seed)
+    spec = ScenarioSpec(
+        trace_name=args.trace,
+        scale=args.scale,
+        seed=args.seed,
+        fault_intensity=args.fault_intensity,
+    )
     scenario = spec.build()
     try:
         routing = RoutingConfig(
@@ -368,6 +424,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         manifest_path=args.manifest,
+        time_policy="clamp" if args.clamp_time else "strict",
         ready_callback=lambda host, port: print(
             f"repro service listening on {host}:{port} "
             f"(champion={routing.champion!r}"
@@ -389,6 +446,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.manifest:
         print(f"service manifest written to {args.manifest}", file=sys.stderr)
     return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .loadgen import resolve_plan, run_load
+    from .loadgen.report import build_load_report, describe_result
+    from .obs.manifest import write_manifest
+
+    try:
+        plan = resolve_plan(args.plan)
+    except ValueError as exc:
+        print(f"invalid plan: {exc}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        plan = replace(plan, seed=args.seed)
+    if args.duration_scale != 1.0:
+        plan = plan.scaled(args.duration_scale)
+    slo_overrides = {
+        key: value
+        for key, value in (
+            ("max_p99_s", args.max_p99),
+            ("max_error_rate", args.max_error_rate),
+            ("min_rate_attainment", args.min_attainment),
+        )
+        if value is not None
+    }
+    if slo_overrides:
+        plan = replace(plan, slo=replace(plan.slo, **slo_overrides))
+    if args.kill_every is not None:
+        plan = replace(plan, chaos=replace(plan.chaos, kill_every_s=args.kill_every))
+
+    host, _, port_text = args.target.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"invalid --target {args.target!r} (expected HOST:PORT)", file=sys.stderr)
+        return 2
+    host = host or "127.0.0.1"
+
+    try:
+        result = run_load(
+            plan, host, port,
+            progress=lambda message: print(f"  {message}", file=sys.stderr),
+        )
+    except OSError as exc:
+        print(f"cannot reach server at {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    report = build_load_report(result)
+    if args.report:
+        write_manifest(args.report, report)
+        print(f"load report written to {args.report}", file=sys.stderr)
+    print(describe_result(report))
+    # SLO violations gate CI: distinct exit code so wrappers can tell
+    # "server unreachable" (1) from "server too slow" (3).
+    return 0 if report["slo"]["passed"] else 3
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -547,6 +660,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "ablation":
         return _cmd_ablation(args)
 

@@ -1,0 +1,68 @@
+"""Load generation and chaos soak for the always-on service.
+
+``repro serve`` made the command center a long-lived server;
+this package answers the operational questions that follow: what
+request rate does a deployment sustain, what do tail latencies look
+like under incident-style bursts, and does the service stay correct
+while nodes crash and clients vanish mid-request?
+
+* :mod:`~repro.loadgen.plan` -- declarative :class:`LoadPlan` /
+  :class:`LoadStage` descriptions (ramp/hold/drain, op mix, SLO
+  thresholds, chaos), JSON round-trip, built-in ``smoke``/``soak`` plans;
+* :mod:`~repro.loadgen.arrivals` -- seeded open-loop arrival processes
+  (steady Poisson, Lewis-thinned ramps, Poisson-cluster bursts with
+  spatial epicenters);
+* :mod:`~repro.loadgen.workload` -- synthetic Table I ops (stdlib-only)
+  or replayed scenario traces as the op source;
+* :mod:`~repro.loadgen.driver` -- the asyncio driver: paced producer,
+  N connection-owning workers, per-second achieved-vs-offered sampling,
+  exact op accounting, client-side connection-kill chaos;
+* :mod:`~repro.loadgen.report` -- SLO evaluation and the validated
+  ``load-report`` manifest.
+
+Entry point: ``repro loadgen --plan smoke --target HOST:PORT``; see
+``docs/LOADGEN.md``.
+"""
+
+from .arrivals import Arrival, Incident, stage_arrivals
+from .driver import Accounting, LoadResult, StageResult, run_load
+from .plan import (
+    BUILTIN_PLANS,
+    BurstSpec,
+    ChaosSpec,
+    LoadPlan,
+    LoadStage,
+    SLOSpec,
+    StageMix,
+    WorkloadSpec,
+    builtin_plan,
+    resolve_plan,
+)
+from .report import build_load_report, describe_result, evaluate_slo
+from .workload import ReplayWorkload, SyntheticWorkload, make_workload
+
+__all__ = [
+    "Arrival",
+    "Incident",
+    "stage_arrivals",
+    "Accounting",
+    "LoadResult",
+    "StageResult",
+    "run_load",
+    "BUILTIN_PLANS",
+    "BurstSpec",
+    "ChaosSpec",
+    "LoadPlan",
+    "LoadStage",
+    "SLOSpec",
+    "StageMix",
+    "WorkloadSpec",
+    "builtin_plan",
+    "resolve_plan",
+    "build_load_report",
+    "describe_result",
+    "evaluate_slo",
+    "ReplayWorkload",
+    "SyntheticWorkload",
+    "make_workload",
+]

@@ -1,0 +1,112 @@
+"""Open-loop arrival processes for load stages.
+
+Each generator turns a :class:`~repro.loadgen.plan.LoadStage` plus a seed
+into a sorted list of :class:`Arrival` offsets inside the stage window.
+All three processes are Poisson at heart:
+
+* ``steady`` -- homogeneous Poisson via exponential inter-arrival gaps;
+* ``ramp``   -- non-homogeneous Poisson with a linear rate function,
+  realized by Lewis thinning against the peak rate (candidate arrivals at
+  the peak rate are accepted with probability ``rate(t) / peak``);
+* ``bursty`` -- a Poisson cluster process: a homogeneous background plus
+  Poisson-distributed incident bursts whose members land uniformly inside
+  the burst window and carry the incident's epicenter, so the synthetic
+  workload can cluster burst photos spatially (event-reporting traffic).
+
+Everything is seeded ``random.Random`` -- the same (stage, seed) pair
+always produces the same arrival sequence, which the plan tests rely on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .plan import LoadStage
+
+__all__ = ["Incident", "Arrival", "stage_arrivals"]
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One burst epicenter: when it fired and where (unit coordinates)."""
+
+    time: float
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: its offset into the stage, and -- when it
+    belongs to a burst -- the incident it clusters around."""
+
+    offset_s: float
+    incident: Optional[Incident] = None
+
+
+def _poisson_count(rng: random.Random, lam: float) -> int:
+    """Knuth's Poisson sampler (burst sizes are small, so exp(-lam) is safe)."""
+    if lam <= 0.0:
+        return 0
+    threshold = math.exp(-lam)
+    count, product = 0, rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def _homogeneous(
+    rng: random.Random, rate: float, duration: float
+) -> List[float]:
+    times: List[float] = []
+    if rate <= 0.0:
+        return times
+    t = rng.expovariate(rate)
+    while t < duration:
+        times.append(t)
+        t += rng.expovariate(rate)
+    return times
+
+
+def stage_arrivals(stage: LoadStage, seed: int) -> List[Arrival]:
+    """The stage's full arrival schedule, sorted by offset."""
+    rng = random.Random(f"{seed}:{stage.name}")
+    if stage.process == "steady":
+        return [Arrival(t) for t in _homogeneous(rng, stage.rate, stage.duration_s)]
+    if stage.process == "ramp":
+        return _ramp(stage, rng)
+    return _bursty(stage, rng)
+
+
+def _ramp(stage: LoadStage, rng: random.Random) -> List[Arrival]:
+    assert stage.rate_start is not None
+    peak = max(stage.rate_start, stage.rate)
+    arrivals = [
+        Arrival(t)
+        for t in _homogeneous(rng, peak, stage.duration_s)
+        if peak <= 0.0 or rng.random() * peak <= stage.rate_at(t)
+    ]
+    return arrivals
+
+
+def _bursty(stage: LoadStage, rng: random.Random) -> List[Arrival]:
+    burst = stage.burst
+    assert burst is not None
+    background_rate = stage.rate * (1.0 - burst.share)
+    arrivals = [Arrival(t) for t in _homogeneous(rng, background_rate, stage.duration_s)]
+    # Incidents fire so that share * rate arrivals come from bursts on
+    # average: incident_rate * size_mean == rate * share.
+    incident_rate = stage.rate * burst.share / burst.size_mean
+    for start in _homogeneous(rng, incident_rate, stage.duration_s):
+        incident = Incident(time=start, x=rng.random(), y=rng.random())
+        size = _poisson_count(rng, burst.size_mean)
+        for _ in range(size):
+            offset = start + rng.uniform(0.0, burst.duration_s)
+            if offset < stage.duration_s:
+                arrivals.append(Arrival(offset, incident=incident))
+    arrivals.sort(key=lambda arrival: arrival.offset_s)
+    return arrivals

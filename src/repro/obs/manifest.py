@@ -26,6 +26,7 @@ from .profiler import merge_profiles
 __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "SERVICE_MANIFEST_SCHEMA_VERSION",
+    "LOAD_REPORT_SCHEMA_VERSION",
     "ManifestError",
     "build_manifest",
     "build_service_manifest",
@@ -33,6 +34,8 @@ __all__ = [
     "plan_hash",
     "validate_manifest",
     "validate_service_manifest",
+    "validate_load_report",
+    "ensure_valid_load_report",
     "write_manifest",
     "load_manifest",
 ]
@@ -42,6 +45,9 @@ MANIFEST_SCHEMA_VERSION = 1
 
 #: Bumped when the service-session manifest shape changes.
 SERVICE_MANIFEST_SCHEMA_VERSION = 1
+
+#: Bumped when the load-report manifest shape changes.
+LOAD_REPORT_SCHEMA_VERSION = 1
 
 
 class ManifestError(ValueError):
@@ -294,6 +300,122 @@ def ensure_valid_service_manifest(payload: Dict[str, Any]) -> Dict[str, Any]:
     return payload
 
 
+def validate_load_report(payload: Dict[str, Any]) -> List[str]:
+    """Structurally validate a load-generator report; returns problems.
+
+    The report is ``repro.loadgen``'s manifest kind: plan echo, per-stage
+    offered/achieved rates, per-op latency quantiles, exact accounting,
+    and the SLO verdict CI gates on.
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["load report is not a JSON object"]
+    required = (
+        "schema_version", "kind", "generated_by", "plan", "target",
+        "wall_duration_s", "stages", "ops", "accounting", "slo",
+    )
+    for key in required:
+        if key not in payload:
+            _fail(errors, f"missing required key {key!r}")
+    if errors:
+        return errors
+    if payload["schema_version"] != LOAD_REPORT_SCHEMA_VERSION:
+        _fail(
+            errors,
+            f"schema_version {payload['schema_version']!r}"
+            f" != {LOAD_REPORT_SCHEMA_VERSION}",
+        )
+    if payload["kind"] != "load-report":
+        _fail(errors, f"kind must be 'load-report', got {payload['kind']!r}")
+    if not isinstance(payload["generated_by"], str):
+        _fail(errors, "generated_by must be a string")
+    plan = payload["plan"]
+    if not isinstance(plan, dict) or "stages" not in plan:
+        _fail(errors, "plan must be an object carrying its stages")
+    target = payload["target"]
+    if not (isinstance(target, dict) and "host" in target and "port" in target):
+        _fail(errors, "target must carry host and port")
+    duration = payload["wall_duration_s"]
+    if (
+        not isinstance(duration, (int, float))
+        or isinstance(duration, bool)
+        or duration < 0
+        or math.isnan(float(duration))
+    ):
+        _fail(errors, "wall_duration_s must be a non-negative number")
+
+    stages = payload["stages"]
+    if not isinstance(stages, list):
+        _fail(errors, "stages must be a list")
+        stages = []
+    for i, stage in enumerate(stages):
+        if not isinstance(stage, dict):
+            _fail(errors, f"stages[{i}] is not an object")
+            continue
+        for key in (
+            "name", "process", "gate_rate", "offered", "ok",
+            "offered_rate", "achieved_rate", "attainment", "samples",
+        ):
+            if key not in stage:
+                _fail(errors, f"stages[{i}] missing {key!r}")
+        if not isinstance(stage.get("samples", []), list):
+            _fail(errors, f"stages[{i}].samples must be a list")
+
+    ops = payload["ops"]
+    if not isinstance(ops, dict):
+        _fail(errors, "ops must be an object")
+    else:
+        for kind, quantiles in ops.items():
+            if not isinstance(quantiles, dict):
+                _fail(errors, f"ops[{kind!r}] is not an object")
+                continue
+            for key in ("count", "p50_s", "p95_s", "p99_s"):
+                if key not in quantiles:
+                    _fail(errors, f"ops[{kind!r}] missing {key!r}")
+
+    accounting = payload["accounting"]
+    if not isinstance(accounting, dict):
+        _fail(errors, "accounting must be an object")
+    else:
+        categories = (
+            "sent", "ok", "service_error", "timeout", "connection_error", "killed",
+        )
+        for key in categories + ("reconnects", "errors_by_code"):
+            if key not in accounting:
+                _fail(errors, f"accounting missing {key!r}")
+        if all(isinstance(accounting.get(key), int) for key in categories):
+            failed = sum(accounting[key] for key in categories[2:])
+            if accounting["sent"] != accounting["ok"] + failed:
+                _fail(
+                    errors,
+                    "accounting identity violated: sent != ok + "
+                    "service_error + timeout + connection_error + killed",
+                )
+
+    slo = payload["slo"]
+    if not isinstance(slo, dict):
+        _fail(errors, "slo must be an object")
+    else:
+        for key in ("thresholds", "violations", "passed"):
+            if key not in slo:
+                _fail(errors, f"slo missing {key!r}")
+        if not isinstance(slo.get("passed", False), bool):
+            _fail(errors, "slo.passed must be a boolean")
+        if not isinstance(slo.get("violations", []), list):
+            _fail(errors, "slo.violations must be a list")
+        elif "passed" in slo and slo["passed"] != (not slo["violations"]):
+            _fail(errors, "slo.passed must match slo.violations being empty")
+    return errors
+
+
+def ensure_valid_load_report(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate *payload*, raising :class:`ManifestError` on problems."""
+    errors = validate_load_report(payload)
+    if errors:
+        raise ManifestError("; ".join(errors))
+    return payload
+
+
 # ----------------------------------------------------------------------
 # Validation (structural; no external schema library)
 # ----------------------------------------------------------------------
@@ -437,11 +559,13 @@ def write_manifest(path: Union[str, Path], manifest: Dict[str, Any]) -> Path:
 def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     """Read and structurally validate a manifest from disk.
 
-    Dispatches on the ``kind`` key: service-session manifests are checked
-    against the service schema, everything else against the engine-run
-    schema.
+    Dispatches on the ``kind`` key: service-session and load-report
+    manifests are checked against their own schemas, everything else
+    against the engine-run schema.
     """
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     if isinstance(payload, dict) and payload.get("kind") == "service-session":
         return ensure_valid_service_manifest(payload)
+    if isinstance(payload, dict) and payload.get("kind") == "load-report":
+        return ensure_valid_load_report(payload)
     return ensure_valid_manifest(payload)

@@ -22,6 +22,7 @@ from .client import (
     ReplayReport,
     ServiceClient,
     ServiceError,
+    ServiceTimeoutError,
     http_get,
     iter_scenario_events,
     replay_scenario,
@@ -35,6 +36,7 @@ from .protocol import (
 from .router import CHALLENGER, CHAMPION, RouteDecision, RoutingConfig, SchemeRouter
 from .server import CommandCenterServer, ServiceMetrics
 from .session import (
+    TIME_POLICIES,
     ContactOutcome,
     CoverageReport,
     IngestOutcome,
@@ -48,6 +50,7 @@ __all__ = [
     "ProtocolError",
     "photo_to_wire",
     "photo_from_wire",
+    "TIME_POLICIES",
     "ServiceSession",
     "StaleRequestError",
     "IngestOutcome",
@@ -63,6 +66,7 @@ __all__ = [
     "ServiceMetrics",
     "ServiceClient",
     "ServiceError",
+    "ServiceTimeoutError",
     "ReplayReport",
     "http_get",
     "iter_scenario_events",

@@ -24,6 +24,7 @@ from .protocol import decode_message, encode_message, photo_to_wire
 
 __all__ = [
     "ServiceError",
+    "ServiceTimeoutError",
     "ServiceClient",
     "http_get",
     "iter_scenario_events",
@@ -42,24 +43,46 @@ class ServiceError(RuntimeError):
         super().__init__(f"{self.code}: {error.get('message', response)}")
 
 
+class ServiceTimeoutError(RuntimeError):
+    """A request did not complete within its timeout.
+
+    Raised instead of hanging on a stalled socket; the connection is
+    closed (a late response would desynchronize the request/response
+    pairing), so the client must reconnect before issuing more requests.
+    The load generator counts these as errors against the SLO budget.
+    """
+
+    def __init__(self, op: str, timeout: float) -> None:
+        self.op = op
+        self.timeout = timeout
+        super().__init__(f"request {op!r} timed out after {timeout:g}s")
+
+
 class ServiceClient:
     """A blocking JSON-lines client for the command-center service.
 
     Connection establishment retries until *connect_timeout* elapses,
     which lets a replay start while ``repro serve`` is still binding its
     socket (the CI smoke job does exactly this).
+
+    *timeout* bounds every request round trip (None waits forever);
+    :meth:`request` takes a per-request override.  A request that times
+    out raises :class:`ServiceTimeoutError` and closes the connection --
+    a late response arriving after the caller moved on would be paired
+    with the wrong request.
     """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 7616,
-        timeout: float = 30.0,
+        timeout: Optional[float] = 30.0,
         connect_timeout: float = 10.0,
         retry_interval_s: float = 0.05,
     ) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
         deadline = time.monotonic() + connect_timeout
         while True:
             try:
@@ -73,14 +96,28 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
 
-    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """One request/response round trip; raises :class:`ServiceError`
-        when the server reports a failure."""
+    def request(
+        self, op: str, timeout: Optional[float] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """One request/response round trip.
+
+        Raises :class:`ServiceError` when the server reports a failure
+        and :class:`ServiceTimeoutError` when the round trip exceeds
+        *timeout* (default: the client's constructor timeout).  The
+        reserved *timeout* keyword never travels on the wire.
+        """
+        effective = self.timeout if timeout is None else timeout
+        if effective != self._sock.gettimeout():
+            self._sock.settimeout(effective)
         payload = {"op": op}
         payload.update(fields)
-        self._file.write(encode_message(payload))
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write(encode_message(payload))
+            self._file.flush()
+            line = self._file.readline()
+        except socket.timeout:
+            self.close()
+            raise ServiceTimeoutError(op, effective) from None
         if not line:
             raise ConnectionError("server closed the connection")
         response = decode_message(line)
@@ -227,9 +264,11 @@ class ReplayReport:
             latency = summary.get("latency", {})
             p50 = latency.get("p50_s", float("nan"))
             p95 = latency.get("p95_s", float("nan"))
+            p99 = latency.get("p99_s", float("nan"))
             lines.append(
                 f"  {name:10s} latency p50 {p50 * 1000.0:.2f}ms  "
                 f"p95 {p95 * 1000.0:.2f}ms  "
+                f"p99 {p99 * 1000.0:.2f}ms  "
                 f"({summary.get('requests', 0)} requests)"
             )
         router = self.stats.get("router", {})

@@ -84,6 +84,10 @@ class ServiceMetrics:
             "repro_service_router_fallbacks_total",
             "requests that fell back from the challenger to the champion",
         )
+        self.internal_errors = self.registry.counter(
+            "repro_service_internal_errors_total",
+            "requests that raised an unhandled exception inside a handler",
+        )
         self.photos_ingested = self.registry.counter(
             "repro_service_photos_ingested_total", "photos ingested by variant"
         )
@@ -113,6 +117,7 @@ class ServiceMetrics:
             "count": series.count,
             "p50_s": series.quantile(0.5),
             "p95_s": series.quantile(0.95),
+            "p99_s": series.quantile(0.99),
         }
 
 
@@ -136,6 +141,7 @@ class CommandCenterServer:
         manifest_path: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
         ready_callback: Optional[Callable[[str, int], None]] = None,
+        time_policy: str = "strict",
     ) -> None:
         self.host = host
         self.port = port
@@ -146,7 +152,7 @@ class CommandCenterServer:
         self.router = SchemeRouter(
             self.routing,
             backend_factory=lambda spec, variant: ServiceSession(
-                spec, pois, sim_config, variant=variant
+                spec, pois, sim_config, variant=variant, time_policy=time_policy
             ),
         )
         self._ready_callback = ready_callback
@@ -252,11 +258,16 @@ class CommandCenterServer:
                     assert self._shutdown_event is not None
                     self._shutdown_event.set()
                     break
+        except asyncio.CancelledError:
+            # Loop teardown with the connection still open (a load client
+            # lingering past shutdown): finish cleanly so the streams
+            # done-callback doesn't log the cancellation as an error.
+            pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, OSError):
+            except (ConnectionResetError, OSError, asyncio.CancelledError):
                 pass
 
     async def _serve_http(
@@ -323,6 +334,7 @@ class CommandCenterServer:
         except ValueError as exc:
             response = error_response("bad-request", str(exc), op=op)
         except Exception as exc:  # noqa: BLE001 - a request never kills the server
+            self.metrics.internal_errors.inc()
             response = error_response(
                 "internal", f"{type(exc).__name__}: {exc}", op=op
             )

@@ -11,13 +11,28 @@ produces byte-identical state to ``Simulation.run()`` on that scenario.
 
 Time is the caller's: every request carries a ``now`` and the session
 only checks that it never goes backwards (requests are a serialized
-event stream, exactly like the simulator's queue).
+event stream, exactly like the simulator's queue).  Under concurrent
+load generation that guarantee cannot hold across connections -- N
+workers stamp requests before their sockets race each other to the
+server -- so the session also supports a ``clamp`` time policy that
+monotonizes late timestamps instead of rejecting them (see
+docs/LOADGEN.md).
+
+When the session's :class:`SimulationConfig` carries a
+:class:`~repro.dtn.faults.FaultPlan` with a non-zero crash rate, the
+session runs *live node churn*: each participant gets a Poisson crash
+process (seeded, per-node streams) sampled lazily as time advances, with
+the same storage-loss and cold-restart semantics the simulator applies
+to ``NODE_CRASH``/``NODE_RESTART`` events.  This is the server-side half
+of the chaos-soak story.
 """
 
 from __future__ import annotations
 
+import heapq
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.poi import PoIList
 from ..dtn.simulator import Simulation, SimulationConfig
@@ -25,6 +40,7 @@ from ..routing.registry import create_scheme
 from ..traces.model import ContactTrace
 
 __all__ = [
+    "TIME_POLICIES",
     "StaleRequestError",
     "IngestOutcome",
     "ContactOutcome",
@@ -32,6 +48,11 @@ __all__ = [
     "CoverageReport",
     "ServiceSession",
 ]
+
+#: ``strict`` raises :class:`StaleRequestError` on a backwards timestamp
+#: (the replay/byte-identity contract); ``clamp`` monotonizes it to the
+#: session clock (the concurrent load-generation contract).
+TIME_POLICIES = ("strict", "clamp")
 
 
 class StaleRequestError(ValueError):
@@ -95,9 +116,15 @@ class ServiceSession:
         pois: PoIList,
         config: Optional[SimulationConfig] = None,
         variant: str = "champion",
+        time_policy: str = "strict",
     ) -> None:
+        if time_policy not in TIME_POLICIES:
+            raise ValueError(
+                f"time_policy must be one of {TIME_POLICIES}, got {time_policy!r}"
+            )
         self.scheme_spec = scheme_spec
         self.variant = variant
+        self.time_policy = time_policy
         self.scheme = create_scheme(scheme_spec)
         self.simulation = Simulation(
             trace=ContactTrace([], name="service"),
@@ -110,6 +137,18 @@ class ServiceSession:
         )
         self.clock = 0.0
         self.requests = 0
+        self.clamped_requests = 0
+        # Live churn state (active only with a crash-bearing fault plan):
+        # per-node seeded crash streams and a heap of pending transitions.
+        plan = self.simulation.config.fault_plan
+        self._churn_active = (
+            self.simulation.faults is not None
+            and plan is not None
+            and plan.crash_rate_per_node_hour > 0.0
+        )
+        self._churn_seed = plan.seed if plan is not None else 0
+        self._churn_tracked: Dict[int, random.Random] = {}
+        self._churn_heap: List[Tuple[float, int, int, float]] = []
 
     # ------------------------------------------------------------------
 
@@ -117,13 +156,79 @@ class ServiceSession:
     def command_center_id(self) -> int:
         return self.simulation.config.command_center_id
 
-    def _advance(self, now: float) -> None:
+    def _advance(self, now: float) -> float:
+        """Move the session clock to *now*; returns the effective time.
+
+        Under the ``clamp`` policy a timestamp behind the clock is lifted
+        to the clock instead of rejected -- concurrent load workers stamp
+        requests before their sockets race each other, so small
+        reorderings are expected there, not protocol errors.
+        """
         if now < self.clock:
-            raise StaleRequestError(
-                f"request time {now} precedes session clock {self.clock}"
-            )
+            if self.time_policy == "strict":
+                raise StaleRequestError(
+                    f"request time {now} precedes session clock {self.clock}"
+                )
+            self.clamped_requests += 1
+            now = self.clock
         self.clock = now
         self.requests += 1
+        if self._churn_active:
+            self._run_churn(now)
+        return now
+
+    # ------------------------------------------------------------------
+    # Live node churn (server-side chaos)
+    # ------------------------------------------------------------------
+
+    _CRASH, _RESTART = 0, 1
+
+    def _track_churn(self, node_id: int, now: float) -> None:
+        """Start *node_id*'s crash process at its first-seen instant."""
+        if not self._churn_active or node_id in self._churn_tracked:
+            return
+        if node_id == self.command_center_id:
+            return
+        # Independent per-node streams keep crash draws from perturbing
+        # the injector's shared transfer/metadata fault stream.
+        rng = random.Random(f"{self._churn_seed}:churn:{node_id}")
+        self._churn_tracked[node_id] = rng
+        self._schedule_crash(node_id, now, rng)
+
+    def _schedule_crash(self, node_id: int, after: float, rng: random.Random) -> None:
+        plan = self.simulation.config.fault_plan
+        assert plan is not None
+        rate_per_s = plan.crash_rate_per_node_hour / 3600.0
+        crash_time = after + rng.expovariate(rate_per_s)
+        downtime = rng.expovariate(1.0 / plan.mean_downtime_s)
+        heapq.heappush(
+            self._churn_heap, (crash_time, self._CRASH, node_id, crash_time + downtime)
+        )
+
+    def _run_churn(self, now: float) -> None:
+        """Apply every crash/restart transition due at or before *now*."""
+        sim = self.simulation
+        counters = sim.result.fault_counters
+        while self._churn_heap and self._churn_heap[0][0] <= now:
+            when, kind, node_id, restart_time = heapq.heappop(self._churn_heap)
+            node = sim.nodes.get(node_id)
+            if kind == self._CRASH:
+                if node is not None and node.alive:
+                    assert sim.faults is not None
+                    survivors = sim.faults.surviving_photos(node.storage.photos())
+                    node.crash(
+                        surviving_photos=survivors,
+                        wipe_protocol_state=sim.config.fault_plan.cache_loss_on_crash,
+                    )
+                    counters.crashes += 1
+                heapq.heappush(
+                    self._churn_heap, (restart_time, self._RESTART, node_id, restart_time)
+                )
+            else:
+                if node is not None and not node.alive:
+                    node.restart()
+                    counters.restarts += 1
+                self._schedule_crash(node_id, when, self._churn_tracked[node_id])
 
     # ------------------------------------------------------------------
     # Operations
@@ -133,9 +238,10 @@ class ServiceSession:
         """Participant *owner_id* reports taking *photo* at *now*."""
         if owner_id == self.command_center_id:
             raise ValueError("the command center does not take photos")
-        self._advance(now)
+        now = self._advance(now)
         sim = self.simulation
         node = sim.ensure_node(owner_id)
+        self._track_churn(owner_id, now)
         dispatched = sim.handle_photo_created(owner_id, photo, now)
         return IngestOutcome(
             dispatched=dispatched,
@@ -152,10 +258,12 @@ class ServiceSession:
         if cc_id in (node_a_id, node_b_id):
             participant = node_b_id if node_a_id == cc_id else node_a_id
             return self.select_on_contact(participant, now, duration)
-        self._advance(now)
+        now = self._advance(now)
         sim = self.simulation
         sim.ensure_node(node_a_id)
         sim.ensure_node(node_b_id)
+        self._track_churn(node_a_id, now)
+        self._track_churn(node_b_id, now)
         return ContactOutcome(
             processed=sim.handle_contact(node_a_id, node_b_id, now, duration)
         )
@@ -164,9 +272,10 @@ class ServiceSession:
         self, node_id: int, now: float, duration: float
     ) -> SelectionOutcome:
         """Gateway uplink: run the scheme's selection against the center."""
-        self._advance(now)
+        now = self._advance(now)
         sim = self.simulation
         node = sim.ensure_node(node_id)
+        self._track_churn(node_id, now)
         center = sim.command_center
         before = set(center.storage.photo_ids())
         processed = sim.handle_contact(
@@ -205,10 +314,12 @@ class ServiceSession:
     def describe(self) -> Dict[str, object]:
         """A JSON-ready summary (used by ``stats`` and the manifest)."""
         report = self.coverage()
-        return {
+        summary: Dict[str, object] = {
             "variant": self.variant,
             "scheme": self.scheme_spec,
             "requests": self.requests,
+            "time_policy": self.time_policy,
+            "clamped_requests": self.clamped_requests,
             "clock_s": self.clock,
             "coverage": {
                 "point": report.point_coverage,
@@ -220,3 +331,6 @@ class ServiceSession:
             "center_contacts": report.center_contacts,
             "nodes": report.nodes,
         }
+        if self.simulation.faults is not None:
+            summary["faults"] = self.simulation.result.fault_counters.as_dict()
+        return summary

@@ -161,6 +161,70 @@ class TestRegistry:
         assert registry_from_snapshot(r.snapshot()).to_prometheus() == r.to_prometheus()
 
 
+class TestHistogramQuantiles:
+    """Edge cases of the bucket-interpolated quantile estimator (the
+    number behind every p50/p95/p99 the service and loadgen report)."""
+
+    def _histogram(self, buckets=(1.0, 2.0, 4.0)):
+        return MetricsRegistry().histogram("q", buckets=buckets)
+
+    def test_empty_histogram_is_nan(self):
+        h = self._histogram()
+        assert math.isnan(h.quantile(0.5))
+        assert math.isnan(h.quantile(0.0))
+        assert math.isnan(h.quantile(1.0))
+
+    def test_out_of_range_q_raises(self):
+        h = self._histogram()
+        h.observe(0.5)
+        for q in (-0.1, 1.1):
+            with pytest.raises(ValueError, match="quantile"):
+                h.quantile(q)
+
+    def test_q0_is_the_lower_edge_of_the_first_nonempty_bucket(self):
+        h = self._histogram()
+        h.observe(3.0)  # lands in (2, 4]
+        assert h.quantile(0.0) == 2.0
+
+    def test_q1_is_the_upper_edge_of_the_last_nonempty_bucket(self):
+        h = self._histogram()
+        for value in (0.5, 1.5, 3.0):
+            h.observe(value)
+        assert h.quantile(1.0) == 4.0
+
+    def test_interpolates_within_the_winning_bucket(self):
+        h = self._histogram(buckets=(10.0,))
+        for _ in range(4):
+            h.observe(5.0)
+        # All mass in [0, 10]: the median interpolates to the midpoint.
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(0.25) == pytest.approx(2.5)
+
+    def test_all_mass_beyond_the_last_bucket_clamps_to_it(self):
+        h = self._histogram(buckets=(1.0, 2.0))
+        for _ in range(5):
+            h.observe(100.0)  # implicit +Inf bucket only
+        assert h.count == 5
+        assert sum(h.bucket_counts) == 0
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 2.0
+
+    def test_mixed_finite_and_overflow_mass(self):
+        h = self._histogram(buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(50.0)  # overflow
+        # The median sits in the finite bucket, the tail clamps.
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        assert h.quantile(0.99) == 1.0
+
+    def test_monotone_in_q(self):
+        h = self._histogram(buckets=(0.1, 0.5, 1.0, 5.0))
+        for value in (0.05, 0.3, 0.3, 0.9, 2.0, 7.0):
+            h.observe(value)
+        quantiles = [h.quantile(q / 20.0) for q in range(21)]
+        assert quantiles == sorted(quantiles)
+
+
 class TestNullRegistry:
     def test_everything_is_a_noop(self):
         assert NULL_REGISTRY.enabled is False

@@ -151,8 +151,38 @@ class TestStatsAndLatency:
         summary = stats["variants"]["champion"]
         latency = summary["latency"]
         assert latency["count"] >= 20
-        assert 0.0 <= latency["p50_s"] <= latency["p95_s"]
+        assert 0.0 <= latency["p50_s"] <= latency["p95_s"] <= latency["p99_s"]
         assert stats["router"]["champion"] == "our-scheme"
+
+
+class TestClientTimeout:
+    def test_unresponsive_server_raises_service_timeout(self):
+        """A listener that accepts but never answers must trip the
+        per-request timeout, not hang the caller."""
+        from repro.service.client import ServiceTimeoutError
+
+        sink = socket.socket()
+        sink.bind(("127.0.0.1", 0))
+        sink.listen(1)
+        try:
+            client = ServiceClient(*sink.getsockname(), connect_timeout=5.0)
+            try:
+                with pytest.raises(ServiceTimeoutError) as excinfo:
+                    client.request("ping", timeout=0.2)
+                assert excinfo.value.op == "ping"
+                assert excinfo.value.timeout == pytest.approx(0.2)
+            finally:
+                client.close()
+        finally:
+            sink.close()
+
+    def test_per_request_timeout_overrides_client_default(self, pois):
+        """A tight per-request timeout still succeeds against a live
+        server, and the client keeps working afterwards."""
+        with running_server(pois=pois) as server:
+            with ServiceClient(*server.address, timeout=30.0) as client:
+                assert client.request("ping", timeout=5.0)["ok"]
+                assert client.ping()["ok"]
 
 
 class TestChampionChallenger:

@@ -7,6 +7,7 @@ import pytest
 from repro.core.geometry import Point
 from repro.core.metadata import Photo, PhotoMetadata
 from repro.dtn.events import EventKind
+from repro.dtn.faults import FaultPlan
 from repro.dtn.simulator import Simulation, SimulationConfig
 from repro.experiments.config import ScenarioSpec
 from repro.routing import create_scheme
@@ -162,6 +163,82 @@ class TestServiceSessionBasics:
         session.ingest(1, make_photo(), now=1.0)
         text = json.dumps(session.describe())
         assert '"our-scheme"' in text
+
+
+class TestClampTimePolicy:
+    def test_strict_is_the_default(self, pois):
+        session = ServiceSession("our-scheme", pois)
+        assert session.time_policy == "strict"
+
+    def test_unknown_policy_rejected(self, pois):
+        with pytest.raises(ValueError, match="time_policy"):
+            ServiceSession("our-scheme", pois, time_policy="loose")
+
+    def test_clamp_lifts_late_timestamps_and_counts_them(self, pois):
+        session = ServiceSession("our-scheme", pois, time_policy="clamp")
+        session.ingest(1, make_photo(taken_at=100.0), 100.0)
+        # A concurrent worker's op arrives with an earlier wall time.
+        outcome = session.contact(1, 2, 40.0, duration=10.0)
+        assert isinstance(outcome, ContactOutcome)
+        assert session.clamped_requests == 1
+        assert session.clock >= 100.0  # never went backwards
+        # In-order requests do not count as clamped.
+        session.contact(1, 2, 200.0, duration=10.0)
+        assert session.clamped_requests == 1
+
+    def test_describe_reports_policy_and_clamp_count(self, pois):
+        session = ServiceSession("our-scheme", pois, time_policy="clamp")
+        session.ingest(1, make_photo(taken_at=50.0), 50.0)
+        session.contact(1, 2, 10.0, duration=5.0)
+        summary = session.describe()
+        assert summary["time_policy"] == "clamp"
+        assert summary["clamped_requests"] == 1
+
+
+class TestLiveNodeChurn:
+    def _churny_session(self, pois, crash_rate=120.0):
+        fault_plan = FaultPlan(
+            seed=7,
+            crash_rate_per_node_hour=crash_rate,
+            mean_downtime_s=300.0,
+            storage_loss_fraction=0.5,
+        )
+        config = SimulationConfig(fault_plan=fault_plan)
+        return ServiceSession("our-scheme", pois, config=config, time_policy="clamp")
+
+    def test_churn_inactive_without_crash_rate(self, pois):
+        session = ServiceSession("our-scheme", pois)
+        session.ingest(1, make_photo(), 0.0)
+        session.contact(1, 2, 3600.0, duration=10.0)
+        summary = session.describe()
+        assert "faults" not in summary
+
+    def test_high_crash_rate_produces_crashes_and_restarts(self, pois):
+        session = self._churny_session(pois)
+        # A dozen nodes, hours of virtual traffic: at 120 crashes per
+        # node-hour transitions are statistically certain.
+        for hour in range(6):
+            now = hour * 3600.0
+            for node in range(1, 13):
+                session.ingest(node, make_photo(taken_at=now, owner_id=node), now)
+                session.contact(node, node % 12 + 1, now + 60.0, duration=30.0)
+        counters = session.simulation.result.fault_counters
+        assert counters.crashes > 0
+        assert counters.restarts > 0
+        summary = session.describe()
+        assert summary["faults"]["crashes"] == counters.crashes
+
+    def test_churn_streams_are_deterministic(self, pois):
+        def run():
+            session = self._churny_session(pois)
+            for hour in range(4):
+                now = hour * 3600.0
+                for node in range(1, 9):
+                    session.contact(node, node % 8 + 1, now, duration=30.0)
+            counters = session.simulation.result.fault_counters
+            return (counters.crashes, counters.restarts)
+
+        assert run() == run()
 
 
 class TestIterScenarioEvents:
