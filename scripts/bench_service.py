@@ -11,13 +11,19 @@ select built by :class:`repro.loadgen.workload.SyntheticWorkload`):
   an ephemeral port, driven by the :mod:`repro.loadgen` async driver at a
   deliberately saturating offered rate, so the achieved rate measures
   server capacity rather than the arrival schedule.
+* **service+wal** -- the same saturation with durable mode on
+  (``--wal-dir`` equivalent: a write-ahead journal at the default
+  ``interval`` fsync policy), so journaling overhead is a measured
+  number, not a guess.
 
-The figure of merit is **efficiency** = service achieved rate divided by
-in-process rate: the fraction of bare-session throughput that survives
-JSON framing, the socket hop, and the asyncio loop.  Both legs run on
-the same machine back to back, so the ratio transfers across hardware --
+The figures of merit are **efficiency** = service achieved rate divided
+by in-process rate (the fraction of bare-session throughput that
+survives JSON framing, the socket hop, and the asyncio loop) and
+**wal_relative** = durable achieved rate divided by plain service rate
+(the fraction that additionally survives journaling).  All legs run on
+the same machine back to back, so the ratios transfer across hardware --
 CI re-runs with ``--quick --check BENCH_service.json`` and fails when
-efficiency drops more than ``--max-regression`` below the recorded
+either ratio drops more than ``--max-regression`` below the recorded
 baseline (default 40%: socket-bound numbers carry more scheduler noise
 than the pure-compute bench).
 
@@ -34,6 +40,7 @@ import argparse
 import json
 import os
 import platform
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -42,11 +49,11 @@ from repro.experiments.config import ScenarioSpec
 from repro.loadgen import LoadPlan, LoadStage, SLOSpec, StageMix, WorkloadSpec, run_load
 from repro.loadgen.arrivals import Arrival
 from repro.loadgen.workload import SyntheticWorkload
-from repro.service import CommandCenterServer, ServiceSession
+from repro.service import CommandCenterServer, PersistenceConfig, ServiceSession
 from repro.service.protocol import photo_from_wire
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 SCALE = 0.05
 USERS = 40
@@ -88,15 +95,17 @@ def bench_inprocess(ops, scenario, repeats: int) -> float:
     return len(ops) / best
 
 
-def bench_service(scenario, duration_s: float, concurrency: int, seed: int):
+def bench_service(scenario, duration_s: float, concurrency: int, seed: int,
+                  persistence=None):
     """Achieved rate + latency quantiles with the loadgen driver saturating
-    a real server over sockets."""
+    a real server over sockets (optionally with the write-ahead journal on)."""
     server = CommandCenterServer(
         pois=scenario.pois,
         config=scenario.config,
         host="127.0.0.1",
         port=0,
         time_policy="clamp",
+        persistence=persistence,
     )
     thread = threading.Thread(target=server.run, daemon=True)
     thread.start()
@@ -142,22 +151,30 @@ def bench_service(scenario, duration_s: float, concurrency: int, seed: int):
 
 
 def check_against(payload, baseline_path: Path, max_regression: float) -> None:
-    """Fail when socket efficiency regressed beyond budget vs the baseline."""
+    """Fail when a recorded throughput ratio regressed beyond budget."""
     recorded = json.loads(baseline_path.read_text())
-    want = recorded.get("efficiency")
-    if not want:
-        raise SystemExit(f"FAIL: {baseline_path} carries no efficiency figure")
-    got = payload["efficiency"]
-    floor = want * (1.0 - max_regression)
-    print(
-        f"efficiency: fresh {got:.3f} vs recorded {want:.3f} "
-        f"(floor {floor:.3f}, budget {max_regression:.0%})"
-    )
-    if got < floor:
-        raise SystemExit(
-            f"FAIL: service efficiency {got:.3f} fell below {floor:.3f} "
-            f"({max_regression:.0%} under the recorded {want:.3f})"
+    failures = []
+    for figure in ("efficiency", "wal_relative"):
+        want = recorded.get(figure)
+        if not want:
+            if figure == "efficiency":
+                raise SystemExit(
+                    f"FAIL: {baseline_path} carries no efficiency figure"
+                )
+            continue  # pre-WAL baseline: only the plain ratio is gated
+        got = payload[figure]
+        floor = want * (1.0 - max_regression)
+        print(
+            f"{figure}: fresh {got:.3f} vs recorded {want:.3f} "
+            f"(floor {floor:.3f}, budget {max_regression:.0%})"
         )
+        if got < floor:
+            failures.append(
+                f"{figure} {got:.3f} fell below {floor:.3f} "
+                f"({max_regression:.0%} under the recorded {want:.3f})"
+            )
+    if failures:
+        raise SystemExit("FAIL: " + "; ".join(failures))
 
 
 def main() -> None:
@@ -206,8 +223,24 @@ def main() -> None:
         f"({service['ok']}/{service['offered']} ops in {service['duration_s']}s)"
     )
 
+    with tempfile.TemporaryDirectory(prefix="bench-wal-") as wal_dir:
+        durable = bench_service(
+            scenario, args.duration, args.concurrency, args.seed,
+            persistence=PersistenceConfig(wal_dir=wal_dir, fsync="interval"),
+        )
+    print(
+        f"  service+wal:{durable['achieved_rate']:10.1f} ops/s achieved "
+        f"({durable['ok']}/{durable['offered']} ops in {durable['duration_s']}s)"
+    )
+
     efficiency = service["achieved_rate"] / inproc_rate if inproc_rate else 0.0
+    wal_relative = (
+        durable["achieved_rate"] / service["achieved_rate"]
+        if service["achieved_rate"]
+        else 0.0
+    )
     print(f"  efficiency: {efficiency:.3f} of bare-session throughput survives the socket hop")
+    print(f"  wal_relative: {wal_relative:.3f} of service throughput survives journaling")
 
     payload = {
         "schema_version": SCHEMA_VERSION,
@@ -219,7 +252,9 @@ def main() -> None:
         "users": USERS,
         "inprocess": {"ops": len(ops), "rate": round(inproc_rate, 1)},
         "service": service,
+        "service_wal": durable,
         "efficiency": round(efficiency, 4),
+        "wal_relative": round(wal_relative, 4),
     }
 
     if args.check is not None:

@@ -30,6 +30,7 @@ from typing import List, Optional
 
 from .experiments import ablations, fig3_demo, fig5, fig6, fig7, fig8
 from .experiments.config import TRACE_CAMBRIDGE, TRACE_MIT
+from .service.persistence import FSYNC_POLICIES
 from .experiments.report import format_comparison, format_table
 from .traces.analysis import exponential_fit_report, rate_heterogeneity
 from .traces.graph import graph_summary
@@ -247,6 +248,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="disaster fault intensity in [0, 1]: scales the server-side "
         "fault plan (live node churn, transfer drops, metadata corruption)",
     )
+    serve.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="enable durable mode: journal every mutating request to a "
+        "per-variant write-ahead log under DIR and recover from it on boot",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=0, metavar="N",
+        help="compact the journal into a snapshot every N records "
+        "(0 = never; requires --wal-dir)",
+    )
+    serve.add_argument(
+        "--fsync", choices=list(FSYNC_POLICIES), default="interval",
+        help="journal durability: fsync every append, on an interval, "
+        "or leave flushing to the OS (requires --wal-dir)",
+    )
 
     replay = sub.add_parser(
         "replay", help="feed a scenario's event stream through a live server"
@@ -260,6 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--limit", type=int, default=None, help="replay only the first N events"
+    )
+    replay.add_argument(
+        "--skip", type=int, default=0, metavar="N",
+        help="skip the first N events (resume a replay against a server "
+        "that recovered those events from its write-ahead log)",
     )
     replay.add_argument(
         "--shutdown", action="store_true",
@@ -397,7 +418,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .experiments.config import ScenarioSpec
-    from .service import CommandCenterServer, RoutingConfig
+    from .service import CommandCenterServer, PersistenceConfig, RoutingConfig
 
     spec = ScenarioSpec(
         trace_name=args.trace,
@@ -417,6 +438,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"invalid routing config: {exc}", file=sys.stderr)
         return 2
+    persistence = None
+    if args.wal_dir is not None:
+        try:
+            persistence = PersistenceConfig(
+                wal_dir=args.wal_dir,
+                snapshot_every=args.snapshot_every,
+                fsync=args.fsync,
+            )
+        except ValueError as exc:
+            print(f"invalid persistence config: {exc}", file=sys.stderr)
+            return 2
+    elif args.snapshot_every:
+        print("--snapshot-every requires --wal-dir", file=sys.stderr)
+        return 2
     server = CommandCenterServer(
         pois=scenario.pois,
         config=scenario.config,
@@ -425,6 +460,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         manifest_path=args.manifest,
         time_policy="clamp" if args.clamp_time else "strict",
+        persistence=persistence,
         ready_callback=lambda host, port: print(
             f"repro service listening on {host}:{port} "
             f"(champion={routing.champion!r}"
@@ -434,11 +470,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 if routing.challenger
                 else ""
             )
+            + (
+                f", wal={persistence.wal_dir} fsync={persistence.fsync}"
+                if persistence is not None
+                else ""
+            )
             + ")",
             file=sys.stderr,
             flush=True,
         ),
     )
+    for variant, recovery in server.recoveries.items():
+        print(
+            f"recovered {variant}: snapshot seq {recovery.snapshot_seq}, "
+            f"{recovery.replayed_records} journal records replayed "
+            f"in {recovery.duration_s:.3f}s",
+            file=sys.stderr,
+            flush=True,
+        )
     try:
         server.run()
     except KeyboardInterrupt:
@@ -520,6 +569,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             client,
             scenario,
             limit=args.limit,
+            skip=args.skip,
             shutdown=args.shutdown,
             progress=lambda n: print(f"  {n} events replayed", file=sys.stderr),
         )

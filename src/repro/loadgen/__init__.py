@@ -17,6 +17,9 @@ while nodes crash and clients vanish mid-request?
 * :mod:`~repro.loadgen.driver` -- the asyncio driver: paced producer,
   N connection-owning workers, per-second achieved-vs-offered sampling,
   exact op accounting, client-side connection-kill chaos;
+* :mod:`~repro.loadgen.chaos` -- server-process chaos: a
+  :class:`ManagedServer` subprocess supervisor that SIGKILLs and
+  restarts ``repro serve`` mid-soak (pairs with ``--wal-dir`` recovery);
 * :mod:`~repro.loadgen.report` -- SLO evaluation and the validated
   ``load-report`` manifest.
 
@@ -25,6 +28,7 @@ Entry point: ``repro loadgen --plan smoke --target HOST:PORT``; see
 """
 
 from .arrivals import Arrival, Incident, stage_arrivals
+from .chaos import ManagedServer, free_port, run_load_with_restarts
 from .driver import Accounting, LoadResult, StageResult, run_load
 from .plan import (
     BUILTIN_PLANS,
@@ -49,6 +53,9 @@ __all__ = [
     "LoadResult",
     "StageResult",
     "run_load",
+    "ManagedServer",
+    "free_port",
+    "run_load_with_restarts",
     "BUILTIN_PLANS",
     "BurstSpec",
     "ChaosSpec",

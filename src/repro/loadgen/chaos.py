@@ -1,0 +1,220 @@
+"""Server-process chaos: SIGKILL and restart a live ``repro serve``.
+
+The driver's built-in chaos (:class:`~repro.loadgen.plan.ChaosSpec`)
+kills *client connections*; this module supplies the other half of the
+kill-and-recover story by supervising the *server* as a subprocess that
+can be SIGKILLed mid-soak and restarted against the same ``--wal-dir``.
+Composing the two -- connection churn from the plan, process death from
+:func:`run_load_with_restarts` -- is the chaos recipe docs/LOADGEN.md
+describes and the recovery tests exercise.
+
+The load driver already tolerates a vanishing server: workers count
+failed sends as ``connection_error`` and reconnect with backoff, so the
+accounting identity (``sent == ok + service_error + timeout +
+connection_error + killed``) holds across a restart and the post-soak
+report shows exactly how many requests the outage cost.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..service.client import http_get
+
+__all__ = ["free_port", "ManagedServer", "run_load_with_restarts"]
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port.
+
+    A restartable server cannot use ``--port 0``: the rebind after a kill
+    must land on the address the load workers keep reconnecting to.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+class ManagedServer:
+    """A ``repro serve`` subprocess that can be killed and resurrected.
+
+    *extra_args* go straight onto the command line (``--wal-dir``,
+    ``--clamp-time``, ``--manifest`` ...); the supervisor owns only the
+    process lifecycle.  Each (re)start appends to *log_path* when given,
+    so one log file tells the whole kill/recover story.
+
+    The child runs ``sys.executable -m repro`` with the parent's
+    environment, so a test suite running from a source tree (with
+    ``PYTHONPATH=src``) supervises the same code it imports.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        extra_args: Sequence[str] = (),
+        log_path: Optional[str] = None,
+        ready_timeout_s: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port if port is not None else free_port(host)
+        self.extra_args = list(extra_args)
+        self.log_path = log_path
+        self.ready_timeout_s = ready_timeout_s
+        self.starts = 0
+        self.kills = 0
+        self._process: Optional[subprocess.Popen] = None
+
+    @property
+    def command(self) -> List[str]:
+        return [
+            sys.executable, "-m", "repro", "serve",
+            "--host", self.host, "--port", str(self.port),
+        ] + self.extra_args
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process is not None else None
+
+    def running(self) -> bool:
+        return self._process is not None and self._process.poll() is None
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the server and block until ``/healthz`` answers."""
+        if self.running():
+            raise RuntimeError(f"server already running (pid {self.pid})")
+        if self.log_path is not None:
+            log = open(self.log_path, "ab")
+        else:
+            log = open(os.devnull, "wb")
+        try:
+            self._process = subprocess.Popen(
+                self.command,
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=dict(os.environ),
+            )
+        finally:
+            # The child holds its own descriptor; the parent's copy only
+            # leaks into later children if kept open.
+            log.close()
+        self.starts += 1
+        self.wait_ready()
+
+    def wait_ready(self, timeout_s: Optional[float] = None) -> None:
+        deadline = time.monotonic() + (
+            self.ready_timeout_s if timeout_s is None else timeout_s
+        )
+        while True:
+            if self._process is not None and self._process.poll() is not None:
+                raise RuntimeError(
+                    f"server exited with {self._process.returncode} before "
+                    f"becoming ready (log: {self.log_path})"
+                )
+            try:
+                status, _ = http_get(self.host, self.port, "/healthz", timeout=1.0)
+                if status == 200:
+                    return
+            except OSError:
+                pass
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"server on {self.host}:{self.port} not ready "
+                    f"within {self.ready_timeout_s:g}s (log: {self.log_path})"
+                )
+            time.sleep(0.05)
+
+    def sigkill(self) -> None:
+        """``kill -9`` the server -- no flush, no manifest, no goodbye."""
+        if not self.running():
+            raise RuntimeError("server is not running")
+        assert self._process is not None
+        os.kill(self._process.pid, signal.SIGKILL)
+        self._process.wait()
+        self.kills += 1
+
+    def restart(self) -> None:
+        """SIGKILL, then start again on the same address."""
+        self.sigkill()
+        self.start()
+
+    def stop(self) -> None:
+        """Terminate gracefully if still running (cleanup path)."""
+        if self._process is None:
+            return
+        if self._process.poll() is None:
+            self._process.terminate()
+            try:
+                self._process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                self._process.kill()
+                self._process.wait()
+        self._process = None
+
+    def __enter__(self) -> "ManagedServer":
+        if not self.running():
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def run_load_with_restarts(
+    plan,
+    server: ManagedServer,
+    kill_after_s: float,
+    restarts: int = 1,
+    restart_interval_s: Optional[float] = None,
+    progress=None,
+) -> Tuple[Any, int]:
+    """Drive *plan* at *server* while SIGKILL+restarting it mid-soak.
+
+    A timer thread kills the server *kill_after_s* seconds into the load
+    run and immediately restarts it on the same port (then again every
+    *restart_interval_s*, up to *restarts* times).  Returns the
+    :class:`~repro.loadgen.driver.LoadResult` and the number of restarts
+    actually performed.  The load outcome stays SLO-evaluable: requests
+    lost to the outage surface as ``connection_error`` in the accounting,
+    not as a crashed driver.
+    """
+    from .driver import run_load
+
+    if restarts < 1:
+        raise ValueError(f"restarts must be >= 1, got {restarts}")
+    interval = restart_interval_s if restart_interval_s is not None else kill_after_s
+    done = 0
+    stop = threading.Event()
+
+    def chaos_loop() -> None:
+        nonlocal done
+        delay = kill_after_s
+        for _ in range(restarts):
+            if stop.wait(delay):
+                return
+            try:
+                server.restart()
+            except RuntimeError:
+                return  # server already gone (load finished and cleaned up)
+            done += 1
+            if progress is not None:
+                progress(f"chaos: server SIGKILLed and restarted ({done}/{restarts})")
+            delay = interval
+
+    killer = threading.Thread(target=chaos_loop, name="server-chaos", daemon=True)
+    killer.start()
+    try:
+        result = run_load(plan, server.host, server.port, progress=progress)
+    finally:
+        stop.set()
+        killer.join(timeout=30.0)
+    return result, done

@@ -287,6 +287,31 @@ def validate_service_manifest(payload: Dict[str, Any]) -> List[str]:
             for key in ("scheme", "requests", "coverage", "latency"):
                 if key not in summary:
                     _fail(errors, f"variants[{name!r}] missing {key!r}")
+            persistence = summary.get("persistence")
+            if persistence is not None:
+                if not isinstance(persistence, dict):
+                    _fail(errors, f"variants[{name!r}].persistence must be an object")
+                    continue
+                for key in ("wal_dir", "fsync", "snapshot_seq", "recovery"):
+                    if key not in persistence:
+                        _fail(errors, f"variants[{name!r}].persistence missing {key!r}")
+                recovery = persistence.get("recovery")
+                if recovery is not None and isinstance(recovery, dict):
+                    for key in (
+                        "snapshot_seq", "replayed_records",
+                        "truncated_bytes", "duration_s",
+                    ):
+                        if key not in recovery:
+                            _fail(
+                                errors,
+                                f"variants[{name!r}].persistence.recovery"
+                                f" missing {key!r}",
+                            )
+                elif recovery is not None:
+                    _fail(
+                        errors,
+                        f"variants[{name!r}].persistence.recovery must be an object",
+                    )
     if not isinstance(payload["metrics"], dict):
         _fail(errors, "metrics must be an object")
     return errors

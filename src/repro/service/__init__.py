@@ -13,7 +13,10 @@ asyncio service speaking newline-delimited JSON (plus a hand-rolled
 * :mod:`~repro.service.server` -- the asyncio server, instrumented with
   :mod:`repro.obs` metrics and emitting a session manifest on shutdown;
 * :mod:`~repro.service.client` -- a blocking client and the
-  trace-replay harness (``repro replay``).
+  trace-replay harness (``repro replay``);
+* :mod:`~repro.service.persistence` -- durable mode: a per-variant
+  write-ahead journal with snapshot compaction and byte-identical
+  startup recovery (``repro serve --wal-dir``).
 
 Everything is standard library only; see ``docs/SERVICE.md``.
 """
@@ -26,6 +29,16 @@ from .client import (
     http_get,
     iter_scenario_events,
     replay_scenario,
+)
+from .persistence import (
+    FSYNC_POLICIES,
+    PersistenceConfig,
+    PersistentSession,
+    RecoveryError,
+    SnapshotStore,
+    WalCorruptionError,
+    WalRecovery,
+    WriteAheadLog,
 )
 from .protocol import (
     PROTOCOL_VERSION,
@@ -64,6 +77,14 @@ __all__ = [
     "SchemeRouter",
     "CommandCenterServer",
     "ServiceMetrics",
+    "FSYNC_POLICIES",
+    "PersistenceConfig",
+    "PersistentSession",
+    "WalRecovery",
+    "WriteAheadLog",
+    "SnapshotStore",
+    "WalCorruptionError",
+    "RecoveryError",
     "ServiceClient",
     "ServiceError",
     "ServiceTimeoutError",

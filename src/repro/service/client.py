@@ -285,18 +285,27 @@ def replay_scenario(
     client: ServiceClient,
     scenario,
     limit: Optional[int] = None,
+    skip: int = 0,
     shutdown: bool = False,
     progress: Optional[Any] = None,
 ) -> ReplayReport:
     """Feed *scenario*'s event stream through a live server.
 
-    *limit* truncates the stream (CI smoke uses a short prefix);
-    *shutdown* asks the server to exit -- and write its manifest -- after
-    the closing ``coverage``/``stats`` reads.  *progress*, if given, is
-    called with the running event count every 500 events.
+    *limit* truncates the stream (CI smoke uses a short prefix); *skip*
+    drops the first N events without sending them -- how a replay resumes
+    against a durable server that already recovered those events from
+    its write-ahead log (``--limit N`` then, after the restart,
+    ``--skip N``).  *shutdown* asks the server to exit -- and write its
+    manifest -- after the closing ``coverage``/``stats`` reads.
+    *progress*, if given, is called with the running event count every
+    500 events.
     """
     report = ReplayReport()
+    skipped = 0
     for event in iter_scenario_events(scenario):
+        if skipped < skip:
+            skipped += 1
+            continue
         if limit is not None and report.events >= limit:
             break
         report.events += 1

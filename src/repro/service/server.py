@@ -50,6 +50,7 @@ from .protocol import (
     require_int,
     require_number,
 )
+from .persistence import PersistenceConfig, PersistentSession, WalRecovery
 from .router import RoutingConfig, SchemeRouter
 from .session import ServiceSession, StaleRequestError
 
@@ -103,6 +104,22 @@ class ServiceMetrics:
             "repro_service_coverage_aspect_deg",
             "command-center aspect coverage (degrees) by variant",
         )
+        self.wal_appends = self.registry.counter(
+            "repro_service_wal_appends_total",
+            "write-ahead journal records appended by variant",
+        )
+        self.wal_bytes = self.registry.counter(
+            "repro_service_wal_bytes_total",
+            "write-ahead journal bytes written by variant",
+        )
+        self.wal_snapshots = self.registry.counter(
+            "repro_service_wal_snapshots_total",
+            "snapshot compactions taken by variant",
+        )
+        self.recovery_seconds = self.registry.timer(
+            "repro_service_recovery_seconds",
+            "startup recovery duration (snapshot load + journal replay) by variant",
+        )
 
     def observe_request(
         self, op: str, variant: str, status: str, seconds: float
@@ -142,19 +159,37 @@ class CommandCenterServer:
         registry: Optional[MetricsRegistry] = None,
         ready_callback: Optional[Callable[[str, int], None]] = None,
         time_policy: str = "strict",
+        persistence: Optional[PersistenceConfig] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.manifest_path = manifest_path
         self.routing = routing if routing is not None else RoutingConfig()
         self.metrics = ServiceMetrics(registry)
+        self.persistence = persistence
+        self.recoveries: Dict[str, WalRecovery] = {}
         sim_config = config if config is not None else SimulationConfig()
-        self.router = SchemeRouter(
-            self.routing,
-            backend_factory=lambda spec, variant: ServiceSession(
-                spec, pois, sim_config, variant=variant, time_policy=time_policy
-            ),
-        )
+
+        def build_backend(spec: str, variant: str) -> Any:
+            def make_session() -> ServiceSession:
+                return ServiceSession(
+                    spec, pois, sim_config, variant=variant, time_policy=time_policy
+                )
+
+            if persistence is None:
+                return make_session()
+            return PersistentSession(
+                make_session,
+                persistence,
+                variant,
+                on_append=lambda nbytes: self._on_wal_append(variant, nbytes),
+                on_recovery=lambda rec: self._on_recovery(variant, rec),
+                on_snapshot=lambda seq: self.metrics.wal_snapshots.labels(
+                    variant=variant
+                ).inc(),
+            )
+
+        self.router = SchemeRouter(self.routing, backend_factory=build_backend)
         self._ready_callback = ready_callback
         self.ready = threading.Event()
         self.address: Optional[Tuple[str, int]] = None
@@ -162,6 +197,16 @@ class CommandCenterServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown_event: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def _on_wal_append(self, variant: str, nbytes: int) -> None:
+        self.metrics.wal_appends.labels(variant=variant).inc()
+        self.metrics.wal_bytes.labels(variant=variant).inc(nbytes)
+
+    def _on_recovery(self, variant: str, recovery: WalRecovery) -> None:
+        self.recoveries[variant] = recovery
+        self.metrics.recovery_seconds.labels(variant=variant).observe(
+            recovery.duration_s
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -204,6 +249,10 @@ class CommandCenterServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for session in self.router.backends().values():
+            close = getattr(session, "close", None)
+            if close is not None:
+                close()
         manifest = self.build_manifest()
         self.last_manifest = manifest
         if self.manifest_path is not None:
